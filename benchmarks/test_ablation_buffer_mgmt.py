@@ -1,0 +1,74 @@
+"""A1: buffer-management strategies (the options of Section 2.2).
+
+The paper rejects option 1 (never compress code containing calls: too
+little becomes compressible) and option 2 (never discard decompressed
+code: the memory footprint balloons) in favour of option 3 (overwrite
++ restore stubs).  This ablation measures all three.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import SCALE, SWEEP_NAMES, emit
+from repro.analysis import ascii_table, geometric_mean
+from repro.analysis.experiments import (
+    baseline_run,
+    squash_benchmark,
+    squashed_run,
+)
+from repro.analysis.stats import percent
+from repro.core.descriptor import BufferStrategy
+from repro.core.pipeline import SquashConfig
+
+THETA = 1.0  # stress the strategies with everything compressed
+
+
+def test_buffer_management_ablation(benchmark):
+    def run():
+        results = {}
+        for strategy in BufferStrategy:
+            config = SquashConfig(theta=THETA, strategy=strategy)
+            for name in SWEEP_NAMES:
+                squashed = squash_benchmark(name, SCALE, config)
+                run_result = squashed_run(name, SCALE, config)
+                base = baseline_run(name, SCALE)
+                results[(strategy, name)] = (
+                    squashed.reduction,
+                    run_result.cycles / base.cycles,
+                )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    body = []
+    summary = {}
+    for strategy in BufferStrategy:
+        reductions = [
+            results[(strategy, name)][0] for name in SWEEP_NAMES
+        ]
+        times = [results[(strategy, name)][1] for name in SWEEP_NAMES]
+        mean_red = 1 - geometric_mean([1 - r for r in reductions])
+        mean_time = geometric_mean(times)
+        summary[strategy] = (mean_red, mean_time)
+        body.append(
+            [strategy.value, percent(mean_red), f"{mean_time:.2f}x"]
+        )
+    table = ascii_table(
+        ["strategy", "mean size reduction", "mean rel. time"],
+        body,
+        title=(
+            f"Ablation: buffer management at θ={THETA} "
+            f"(benchmarks={SWEEP_NAMES}, scale={SCALE})"
+        ),
+    )
+    emit("ablation_buffer_mgmt", table)
+
+    overwrite_red, _ = summary[BufferStrategy.OVERWRITE]
+    no_calls_red, _ = summary[BufferStrategy.NO_CALLS]
+    once_red, once_time = summary[BufferStrategy.DECOMPRESS_ONCE]
+    # Option 1 compresses less than the paper's option 3.
+    assert no_calls_red < overwrite_red
+    # Option 2's footprint pays for every decompressed region.
+    assert once_red < overwrite_red
+    # ...but it decompresses each region at most once, so it runs fast.
+    _, overwrite_time = summary[BufferStrategy.OVERWRITE]
+    assert once_time <= overwrite_time + 0.01

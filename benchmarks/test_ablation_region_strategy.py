@@ -1,0 +1,68 @@
+"""A4: region-construction ablation (Section 9's future work).
+
+Compares the paper's bounded-DFS region formation with the
+whole-function-first alternative: fewer, larger regions mean fewer
+entry stubs and offset-table entries, but a function larger than the
+buffer bound still has to be split.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import SCALE, SWEEP_NAMES, emit
+from repro.analysis import ascii_table, geometric_mean
+from repro.analysis.experiments import squash_benchmark
+from repro.analysis.stats import percent
+from repro.core.pipeline import SquashConfig
+
+THETA = 1.0
+
+
+def test_region_strategy_ablation(benchmark):
+    def run():
+        rows = []
+        for name in SWEEP_NAMES:
+            dfs = squash_benchmark(
+                name, SCALE, SquashConfig(theta=THETA)
+            )
+            whole = squash_benchmark(
+                name,
+                SCALE,
+                dataclasses.replace(
+                    SquashConfig(theta=THETA),
+                    region_strategy="whole_function",
+                ),
+            )
+            rows.append(
+                (
+                    name,
+                    len(dfs.info.regions),
+                    len(whole.info.regions),
+                    dfs.info.entry_stub_count,
+                    whole.info.entry_stub_count,
+                    dfs.reduction,
+                    whole.reduction,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = ascii_table(
+        ["program", "regions (dfs)", "regions (whole-fn)",
+         "stubs (dfs)", "stubs (whole-fn)",
+         "reduction (dfs)", "reduction (whole-fn)"],
+        [
+            [name, rd, rw, sd, sw, percent(redd), percent(redw)]
+            for name, rd, rw, sd, sw, redd, redw in rows
+        ],
+        title=(
+            f"Ablation: region construction at θ={THETA} "
+            f"(benchmarks={SWEEP_NAMES}, scale={SCALE})"
+        ),
+    )
+    emit("ablation_region_strategy", table)
+
+    # Whole-function-first should not fragment more than DFS, and the
+    # footprints should be comparable (within a couple of points).
+    for name, rd, rw, sd, sw, redd, redw in rows:
+        assert rw <= rd * 1.2
+        assert abs(redd - redw) < 0.05

@@ -1,0 +1,52 @@
+"""E3 / Figure 4: amount of cold and compressible code vs. θ.
+
+Paper (geometric means): cold code grows from ~73% of the program at
+θ=0 to ~94% at θ=0.01 and 100% at θ=1; compressible code tracks a few
+points below (not all cold code is profitable to compress).
+"""
+
+from benchmarks.conftest import ALL_NAMES, SCALE, emit
+from repro.analysis import ascii_table
+from repro.analysis.experiments import FIG6_THETAS, fig4_rows
+from repro.analysis.stats import percent
+
+#: Paper's curve, eyeballed from Figure 4 (geometric means).
+PAPER_COLD = {0.0: 0.73, 1e-5: 0.776, 1e-4: 0.80, 1e-3: 0.84,
+              1e-2: 0.94, 1.0: 1.0}
+
+
+def test_fig4_cold_and_compressible(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig4_rows(names=ALL_NAMES, scale=SCALE, thetas=FIG6_THETAS),
+        rounds=1,
+        iterations=1,
+    )
+    table = ascii_table(
+        ["theta (paper)", "theta (ours)", "cold", "compressible",
+         "paper cold"],
+        [
+            [
+                row.theta_paper,
+                row.theta_ours,
+                percent(row.cold_fraction),
+                percent(row.compressible_fraction),
+                percent(PAPER_COLD[row.theta_paper]),
+            ]
+            for row in rows
+        ],
+        title=(
+            f"Figure 4: cold and compressible code, geometric mean "
+            f"over {len(ALL_NAMES)} benchmarks (scale={SCALE})"
+        ),
+    )
+    emit("fig4_cold_code", table)
+
+    # Shape assertions.
+    cold = [row.cold_fraction for row in rows]
+    comp = [row.compressible_fraction for row in rows]
+    assert cold == sorted(cold), "cold fraction must grow with theta"
+    for c, k in zip(comp, cold):
+        assert c <= k + 1e-9, "compressible is a subset of cold"
+    assert 0.6 < cold[0] < 0.85          # paper: 73% at theta=0
+    assert cold[-1] == 1.0               # everything cold at theta=1
+    assert comp[-1] > 0.8                # paper: ~96% compressible

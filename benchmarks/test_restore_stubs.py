@@ -1,0 +1,68 @@
+"""E7 / Section 2.2 in-text: restore-stub costs.
+
+Paper: creating all restore stubs at compile time costs 13% of the
+never-compressed code on average (up to 20%) when compressing only
+never-executed code, rising to 27% at θ=0.01; the runtime
+reference-counted scheme needs at most 9 concurrent stubs across the
+whole suite even at θ=0.01.
+"""
+
+from benchmarks.conftest import ALL_NAMES, SCALE, emit
+from repro.analysis import ascii_table
+from repro.analysis.experiments import restore_stub_stats
+from repro.analysis.stats import arithmetic_mean, percent
+
+
+def test_restore_stub_costs(benchmark):
+    def run():
+        # The paper's θ=0.01 marks ~94% of code cold; under our ×100 θ
+        # mapping that corresponds to θ_paper=1e-4 (our θ=0.01, ~92%
+        # cold -- see Figure 4), not to the saturated θ=1.
+        return (
+            restore_stub_stats(ALL_NAMES, scale=SCALE, theta_paper=0.0),
+            restore_stub_stats(ALL_NAMES, scale=SCALE, theta_paper=1e-4),
+        )
+
+    at_zero, at_hot = benchmark.pedantic(run, rounds=1, iterations=1)
+    hot_by_name = {row.name: row for row in at_hot}
+
+    body = []
+    for row in at_zero:
+        hot = hot_by_name[row.name]
+        body.append(
+            [
+                row.name,
+                percent(row.compile_time_fraction),
+                percent(hot.compile_time_fraction),
+                row.max_live_stubs,
+                hot.max_live_stubs,
+                hot.stubs_created,
+            ]
+        )
+    mean0 = arithmetic_mean(
+        [row.compile_time_fraction for row in at_zero]
+    )
+    mean_hot = arithmetic_mean(
+        [row.compile_time_fraction for row in at_hot]
+    )
+    body.append(
+        ["MEAN", percent(mean0), percent(mean_hot), "", "", ""]
+    )
+    body.append(["PAPER MEAN", "13.0%", "27.0%", "", "<=9", ""])
+    table = ascii_table(
+        ["program", "CT stubs/never-compressed (θ=0)",
+         "same (θp=1e-4)", "max live (θ=0)", "max live (θp=1e-4)",
+         "created (θp=1e-4)"],
+        body,
+        title=f"Restore-stub cost (Section 2.2 in-text; scale={SCALE})",
+    )
+    emit("restore_stubs", table)
+
+    # Shape: the compile-time scheme is a significant fraction of the
+    # never-compressed code and grows with θ; the runtime scheme stays
+    # tiny (paper: max 9 concurrent stubs).
+    assert mean_hot > mean0
+    assert 0.02 < mean0 < 0.5
+    for row in at_hot:
+        assert row.max_live_stubs <= 9
+        assert row.stubs_created == row.stubs_freed

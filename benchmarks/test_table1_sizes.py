@@ -1,0 +1,43 @@
+"""E1 / Table 1: per-benchmark code size, Input vs. Squeeze.
+
+Paper: `squeeze` removes ~30% of the instructions of each `cc -O1`
+binary; the table lists both counts for all eleven benchmarks.
+"""
+
+from benchmarks.conftest import ALL_NAMES, SCALE, emit
+from repro.analysis import ascii_table
+from repro.analysis.experiments import table1_rows
+from repro.analysis.stats import percent
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table1_rows(names=ALL_NAMES, scale=SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    table = ascii_table(
+        ["program", "input", "squeeze", "reduction",
+         "paper input", "paper squeeze", "paper red."],
+        [
+            [
+                row.name,
+                row.input_size,
+                row.squeeze_size,
+                percent(row.reduction),
+                row.paper_input,
+                row.paper_squeeze,
+                percent(row.paper_reduction),
+            ]
+            for row in rows
+        ],
+        title=f"Table 1: code size data (scale={SCALE})",
+    )
+    emit("table1", table)
+
+    for row in rows:
+        assert abs(row.input_size - row.paper_input) <= 10
+        assert (
+            abs(row.squeeze_size - row.paper_squeeze)
+            <= max(20, row.paper_squeeze * 0.02)
+        )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Fit a firmware image into a fixed memory budget.
+
+The paper's motivation: devices like the TMS320-C5x have tiny program
+memories (64 Kwords), so an application that doesn't fit simply cannot
+ship.  This example takes a MediaBench-like program that exceeds a
+given budget and searches the θ axis for the *smallest* threshold that
+fits -- compressing no more than necessary keeps the runtime overhead
+minimal.
+
+Run:  python examples/embedded_budget.py [budget_words]
+"""
+
+import sys
+
+from repro import SquashConfig, mediabench_program, squash
+from repro.vm.machine import Machine
+
+BENCH = "gsm"
+SCALE = 0.35
+THETA_LADDER = (0.0, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0)
+
+
+def main() -> None:
+    bench = mediabench_program(BENCH, scale=SCALE)
+    baseline_run = Machine(
+        bench.layout.image, input_words=bench.timing_input
+    ).run()
+    base_words = bench.layout.image.segment("text").size
+    budget = (
+        int(sys.argv[1]) if len(sys.argv) > 1 else int(base_words * 0.80)
+    )
+    print(
+        f"{BENCH}: squeezed firmware is {base_words} words; "
+        f"budget is {budget} words "
+        f"({budget - base_words:+} words short)"
+    )
+
+    chosen = None
+    for theta in THETA_LADDER:
+        result = squash(bench.squeezed, bench.profile, SquashConfig(theta=theta))
+        size = result.footprint.total
+        fits = size <= budget
+        print(
+            f"  theta={theta:<6} -> {size} words "
+            f"({result.reduction:+.1%}) {'FITS' if fits else 'too big'}"
+        )
+        if fits and chosen is None:
+            chosen = (theta, result)
+
+    if chosen is None:
+        print("no threshold fits; the budget is below what compression "
+              "can reach")
+        return
+
+    theta, result = chosen
+    run, runtime = result.run(bench.timing_input)
+    assert run.output == baseline_run.output
+    print(
+        f"\nshipping with theta={theta}: {result.footprint.total} words, "
+        f"runtime overhead {run.cycles / baseline_run.cycles - 1:+.1%} "
+        f"({runtime.stats.decompressions} decompressions on the timing "
+        f"input)"
+    )
+    fp = result.footprint
+    print(
+        "footprint breakdown: "
+        f"code {fp.never_compressed}, compressed {fp.compressed}, "
+        f"stubs {fp.entry_stubs}+{fp.stub_area}, "
+        f"decompressor {fp.decompressor}, buffer {fp.runtime_buffer}, "
+        f"offset table {fp.offset_table}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Look inside the rewriter: cold blocks, regions, stubs, buffer safety.
+
+Prints the anatomy of one squashed benchmark: which blocks were cold,
+how they were partitioned into buffer-bounded regions, where the entry
+stubs landed, which functions the buffer-safe analysis cleared, and the
+image's segment map.
+
+Run:  python examples/explore_regions.py [benchmark]
+"""
+
+import sys
+from collections import Counter
+
+from repro import SquashConfig, mediabench_program, squash
+from repro.analysis import ascii_table, bar_chart, profile_report
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "adpcm"
+    bench = mediabench_program(name, scale=0.25)
+    result = squash(bench.squeezed, bench.profile, SquashConfig(theta=0.0))
+    info = result.info
+
+    total = bench.squeeze_size
+    cold = sum(bench.profile.sizes.get(l, 0) for l in info.cold)
+    compressed = sum(
+        bench.profile.sizes.get(l, 2) for l in info.compressed_blocks
+    )
+    print(f"{name} at θ=0 (scale 0.25):")
+    print(f"  code: {total} instructions")
+    print(f"  cold: {cold} ({cold / total:.0%})")
+    print(f"  compressed: ~{compressed} ({compressed / total:.0%})")
+    print(f"  unswitched jump tables: {info.unswitch.unswitched_blocks} "
+          f"({info.unswitch.reclaimed_words} table words reclaimed)")
+    print()
+
+    sizes = [
+        desc.expanded_size for desc in result.descriptor.regions
+    ]
+    histogram = Counter(size // 16 * 16 for size in sizes)
+    labels = [f"{bucket:>4}-{bucket + 15}" for bucket in sorted(histogram)]
+    values = [float(histogram[b]) for b in sorted(histogram)]
+    print(
+        bar_chart(
+            labels, values, title="region sizes (buffer slots, bucketed)",
+            fmt="{:.0f}",
+        )
+    )
+    print()
+
+    calls = info.safe_calls + info.intra_region_calls + info.xcall_sites
+    print(
+        f"call sites in compressed code: {calls} "
+        f"({info.safe_calls} to buffer-safe callees, "
+        f"{info.intra_region_calls} intra-region, "
+        f"{info.xcall_sites} CreateStub-protected)"
+    )
+    safe = sorted(info.safe_functions)
+    print(f"buffer-safe functions ({len(safe)}): {', '.join(safe[:12])}"
+          + (" ..." if len(safe) > 12 else ""))
+    print()
+
+    rows = [
+        [seg.name, f"{seg.start:#x}", seg.size]
+        for seg in result.image.segments
+    ]
+    print(ascii_table(["segment", "start", "words"], rows,
+                      title="squashed image layout"))
+    print()
+    print(profile_report(bench.profile, max_rows=10))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Reproduction of *Profile-Guided Code Compression* (Debray & Evans, PLDI 2002).
+
+The package implements the paper's system, ``squash``, on top of a
+synthetic Alpha-like RISC substrate built from scratch:
+
+* :mod:`repro.isa` -- the instruction set (typed fields, encoding,
+  assembler/disassembler).
+* :mod:`repro.program` -- basic blocks, functions, control-flow graphs,
+  whole-program IR and image layout.
+* :mod:`repro.vm` -- an interpreter with syscalls, basic-block
+  profiling, and cycle accounting.
+* :mod:`repro.squeeze` -- the `squeeze`-like code compactor the paper
+  uses as its baseline (unreachable-code elimination, no-op removal,
+  dead-store elimination, procedural abstraction).
+* :mod:`repro.compress` -- splitting-streams compression with canonical
+  Huffman codes (Section 3 of the paper).
+* :mod:`repro.core` -- the paper's contribution: cold-code
+  identification, compressible-region formation, buffer-safe analysis,
+  unswitching, stubs, the binary rewriter, and the runtime
+  decompressor.
+* :mod:`repro.workloads` -- seeded synthetic MediaBench-like programs.
+* :mod:`repro.analysis` -- statistics and table/figure rendering for
+  the paper's experiments.
+
+The most common entry points are re-exported lazily here::
+
+    from repro import squash, SquashConfig, mediabench_program, Machine
+"""
+
+__version__ = "1.0.0"
+
+_EXPORTS = {
+    "squash": ("repro.core.pipeline", "squash"),
+    "SquashConfig": ("repro.core.pipeline", "SquashConfig"),
+    "SquashResult": ("repro.core.pipeline", "SquashResult"),
+    "BufferStrategy": ("repro.core.runtime", "BufferStrategy"),
+    "squeeze": ("repro.squeeze.pipeline", "squeeze"),
+    "Machine": ("repro.vm.machine", "Machine"),
+    "RunResult": ("repro.vm.machine", "RunResult"),
+    "collect_profile": ("repro.vm.profiler", "collect_profile"),
+    "Profile": ("repro.vm.profiler", "Profile"),
+    "MEDIABENCH": ("repro.workloads.mediabench", "MEDIABENCH"),
+    "mediabench_program": ("repro.workloads.mediabench", "mediabench_program"),
+    "mediabench_spec": ("repro.workloads.mediabench", "mediabench_spec"),
+}
+
+__all__ = ["__version__", *list(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

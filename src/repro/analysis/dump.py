@@ -1,0 +1,112 @@
+"""Objdump-style listings of loaded images.
+
+Renders an image's segments as annotated disassembly: labels from the
+symbol table, decoded instructions where words decode, raw words (tag
+words, offset tables, data) where they do not, and resolved targets for
+branches and calls.
+"""
+
+from __future__ import annotations
+
+from repro.isa.disassembler import disassemble_one
+from repro.isa.encoding import decode
+from repro.isa.instruction import SENTINEL_WORD
+from repro.isa.opcodes import Format
+from repro.program.image import LoadedImage
+
+#: Segments rendered as raw words rather than disassembly.
+_DATA_SEGMENTS = frozenset(
+    {"data", "offset_table", "compressed", "runtime_buffer", "stub_area"}
+)
+
+
+def dump_image(
+    image: LoadedImage,
+    segments: tuple[str, ...] | None = None,
+    max_words_per_segment: int = 2000,
+) -> str:
+    """Render *image* as an annotated listing."""
+    labels_at: dict[int, list[str]] = {}
+    for name, addr in image.symbols.items():
+        labels_at.setdefault(addr, []).append(name)
+
+    lines: list[str] = []
+    for seg in image.segments:
+        if segments is not None and seg.name not in segments:
+            continue
+        lines.append(f"segment {seg.name}: {seg.start:#x}..{seg.end:#x} "
+                     f"({seg.size} words)")
+        as_code = seg.name not in _DATA_SEGMENTS
+        shown = min(seg.size, max_words_per_segment)
+        for addr in range(seg.start, seg.start + shown):
+            for label in sorted(labels_at.get(addr, ())):
+                lines.append(f"{label}:")
+            word = image.word(addr)
+            lines.append(_render_word(addr, word, as_code))
+        if shown < seg.size:
+            lines.append(f"  ... {seg.size - shown} more words")
+    return "\n".join(lines)
+
+
+def _render_word(addr: int, word: int, as_code: bool) -> str:
+    prefix = f"  {addr:#8x}: {word:08x}"
+    if not as_code:
+        return prefix
+    if word == SENTINEL_WORD:
+        return f"{prefix}  sentinel"
+    try:
+        instr = decode(word)
+    except Exception:
+        return f"{prefix}  .word"
+    text = disassemble_one(instr)
+    if instr.format is Format.BRA:
+        target = addr + 1 + instr.imm
+        text += f"    ; -> {target:#x}"
+    return f"{prefix}  {text}"
+
+
+def dump_region(image: LoadedImage, descriptor, region_index: int) -> str:
+    """Disassemble one compressed region as it would appear in the
+    runtime buffer (decoding it from the image's compressed area)."""
+    from repro.compress.codec import ProgramCodec
+    from repro.compress.streams import OP_XCALLD, OP_XCALLI
+
+    table = [
+        image.word(descriptor.table_addr + index)
+        for index in range(descriptor.table_words)
+    ]
+    stream = [
+        image.word(descriptor.stream_addr + index)
+        for index in range(descriptor.stream_words)
+    ]
+    codec = ProgramCodec.from_table_words(table)
+    region = descriptor.region(region_index)
+    items, bits = codec.decode_region(stream, region.bit_offset)
+    lines = [
+        f"region {region_index}: bit offset {region.bit_offset}, "
+        f"{len(items)} items, {bits} bits, expands to "
+        f"{region.expanded_size} words at {region.base:#x}"
+    ]
+    slot_of_block = {
+        slot: label for label, slot in region.block_slots.items()
+    }
+    slot = 1
+    for item in items:
+        if slot in slot_of_block:
+            lines.append(f"{slot_of_block[slot]}:")
+        if item.opcode == OP_XCALLD:
+            lines.append(f"  [{slot:>4}] xcalld r{item.fields[0]} "
+                         f"(expands to bsr+br)")
+            slot += 2
+        elif item.opcode == OP_XCALLI:
+            lines.append(f"  [{slot:>4}] xcalli r{item.fields[0]}, "
+                         f"(r{item.fields[1]}) (expands to bsr+jsr)")
+            slot += 2
+        else:
+            from repro.compress.streams import codec_to_instruction
+
+            lines.append(
+                f"  [{slot:>4}] {disassemble_one(codec_to_instruction(item))}"
+            )
+            slot += 1
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Profile analysis: the 80/20 structure behind Section 5.
+
+Utilities for inspecting an execution profile the way the paper's
+cold-code identification sees it: the weight CDF over frequency
+classes (which θ sweeps along), and a hot/cold summary report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import ascii_table
+from repro.analysis.stats import percent
+from repro.vm.profiler import Profile
+
+
+@dataclass(frozen=True)
+class FrequencyClass:
+    """One rung of the frequency ladder."""
+
+    freq: int
+    blocks: int
+    static_size: int
+    weight: int
+    #: Cumulative dynamic weight fraction up to and including this
+    #: class -- the smallest θ that makes the class cold.
+    theta_needed: float
+    #: Cumulative static-size fraction that θ would compress.
+    cumulative_static_fraction: float
+
+
+def frequency_classes(profile: Profile) -> list[FrequencyClass]:
+    """The profile's frequency classes, coldest first."""
+    by_freq: dict[int, list[str]] = {}
+    for label, count in profile.counts.items():
+        by_freq.setdefault(count, []).append(label)
+
+    total_static = sum(profile.sizes.values()) or 1
+    tot = profile.tot_instr_ct or 1
+    classes: list[FrequencyClass] = []
+    cumulative_weight = 0
+    cumulative_static = 0
+    for freq in sorted(by_freq):
+        labels = by_freq[freq]
+        static = sum(profile.sizes[l] for l in labels)
+        weight = freq * static
+        cumulative_weight += weight
+        cumulative_static += static
+        classes.append(
+            FrequencyClass(
+                freq=freq,
+                blocks=len(labels),
+                static_size=static,
+                weight=weight,
+                theta_needed=cumulative_weight / tot,
+                cumulative_static_fraction=cumulative_static / total_static,
+            )
+        )
+    return classes
+
+
+def eighty_twenty(profile: Profile) -> tuple[float, float]:
+    """The paper's 80-20 intuition, measured: returns (static fraction
+    of the hottest blocks that account for 80% of execution, dynamic
+    fraction covered by the hottest 20% of static code)."""
+    blocks = sorted(
+        profile.counts,
+        key=lambda l: -(profile.counts[l] * profile.sizes[l]),
+    )
+    tot = profile.tot_instr_ct or 1
+    total_static = sum(profile.sizes.values()) or 1
+
+    static_for_80 = 0
+    covered = 0
+    for label in blocks:
+        if covered >= 0.8 * tot:
+            break
+        covered += profile.weight(label)
+        static_for_80 += profile.sizes[label]
+
+    dynamic_of_top20 = 0
+    static_seen = 0
+    for label in blocks:
+        if static_seen >= 0.2 * total_static:
+            break
+        static_seen += profile.sizes[label]
+        dynamic_of_top20 += profile.weight(label)
+    return static_for_80 / total_static, dynamic_of_top20 / tot
+
+
+def profile_report(profile: Profile, max_rows: int = 15) -> str:
+    """A rendered frequency-ladder report."""
+    classes = frequency_classes(profile)
+    static80, dynamic20 = eighty_twenty(profile)
+    header = (
+        f"{len(profile.counts)} blocks, {profile.tot_instr_ct} dynamic "
+        f"instructions; 80% of execution lives in "
+        f"{percent(static80)} of the code, the hottest 20% of code "
+        f"covers {percent(dynamic20)} of execution"
+    )
+    rows = [
+        [
+            cls.freq,
+            cls.blocks,
+            cls.static_size,
+            cls.weight,
+            f"{cls.theta_needed:.2e}",
+            percent(cls.cumulative_static_fraction),
+        ]
+        for cls in classes[:max_rows]
+    ]
+    if len(classes) > max_rows:
+        rows.append(["...", "", "", "", "", ""])
+    table = ascii_table(
+        ["freq", "blocks", "static", "weight", "θ to compress",
+         "cum. static"],
+        rows,
+        title=header,
+    )
+    return table

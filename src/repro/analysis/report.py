@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment tables and figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(
+            value.rjust(widths[index]) if index else value.ljust(widths[0])
+            for index, value in enumerate(values)
+        )
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in cells)
+    return "\n".join(parts)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """A horizontal ASCII bar chart (for figure-style output)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    top = max(values) if values else 1.0
+    top = top if top > 0 else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    parts = []
+    if title:
+        parts.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * value / top))
+        parts.append(
+            f"{label.ljust(label_width)} | {bar} {fmt.format(value)}"
+        )
+    return "\n".join(parts)

@@ -1,0 +1,31 @@
+"""Small statistics helpers used by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """The geometric mean (the paper's aggregate for ratios).
+
+    All values must be positive.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of no values")
+    return sum(values) / len(values)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"

@@ -1,0 +1,261 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig6 --scale 0.5
+    python -m repro fig7b --names adpcm gsm
+    python -m repro squash gsm --theta 0.01 --run
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import ascii_table
+from repro.analysis.experiments import (
+    FIG3_BOUNDS,
+    FIG3_THETAS,
+    FIG6_THETAS,
+    FIG7_THETAS,
+    baseline_run,
+    buffer_safe_stats,
+    compression_ratio_stats,
+    fig3_rows,
+    fig4_rows,
+    fig6_rows,
+    fig7_time_rows,
+    restore_stub_stats,
+    squash_benchmark,
+    squashed_run,
+)
+from repro.analysis.stats import percent
+from repro.core.pipeline import SquashConfig
+from repro.workloads.mediabench import MEDIABENCH
+
+
+def _cmd_table1(args) -> None:
+    from repro.analysis.experiments import table1_rows
+
+    rows = table1_rows(names=args.names, scale=args.scale)
+    print(
+        ascii_table(
+            ["program", "input", "squeeze", "reduction", "paper input",
+             "paper squeeze"],
+            [
+                [r.name, r.input_size, r.squeeze_size,
+                 percent(r.reduction), r.paper_input, r.paper_squeeze]
+                for r in rows
+            ],
+            title=f"Table 1 (scale={args.scale})",
+        )
+    )
+
+
+def _cmd_fig3(args) -> None:
+    rows = fig3_rows(
+        names=args.names, scale=args.scale,
+        bounds=FIG3_BOUNDS, thetas=FIG3_THETAS,
+    )
+    print(
+        ascii_table(
+            ["K (bytes)", "theta (paper)", "relative size"],
+            [
+                [r.bound_bytes, r.theta_paper, f"{r.relative_size:.4f}"]
+                for r in rows
+            ],
+            title=f"Figure 3 (scale={args.scale})",
+        )
+    )
+
+
+def _cmd_fig4(args) -> None:
+    rows = fig4_rows(names=args.names, scale=args.scale)
+    print(
+        ascii_table(
+            ["theta (paper)", "theta (ours)", "cold", "compressible"],
+            [
+                [r.theta_paper, r.theta_ours,
+                 percent(r.cold_fraction), percent(r.compressible_fraction)]
+                for r in rows
+            ],
+            title=f"Figure 4 (geo-mean over {len(args.names)} programs)",
+        )
+    )
+
+
+def _cmd_fig6(args) -> None:
+    rows = fig6_rows(names=args.names, scale=args.scale)
+    print(
+        ascii_table(
+            ["program", "theta (paper)", "theta (ours)", "reduction"],
+            [
+                [r.name, r.theta_paper, r.theta_ours, percent(r.reduction)]
+                for r in rows
+            ],
+            title=f"Figure 6 (scale={args.scale})",
+        )
+    )
+
+
+def _cmd_fig7a(args) -> None:
+    rows = fig6_rows(names=args.names, scale=args.scale, thetas=FIG7_THETAS)
+    print(
+        ascii_table(
+            ["program", "theta (paper)", "reduction"],
+            [[r.name, r.theta_paper, percent(r.reduction)] for r in rows],
+            title=f"Figure 7(a) (scale={args.scale})",
+        )
+    )
+
+
+def _cmd_fig7b(args) -> None:
+    rows = fig7_time_rows(names=args.names, scale=args.scale)
+    print(
+        ascii_table(
+            ["program", "theta (paper)", "relative time"],
+            [
+                [r.name, r.theta_paper, f"{r.relative_time:.3f}x"]
+                for r in rows
+            ],
+            title=f"Figure 7(b) (scale={args.scale})",
+        )
+    )
+
+
+def _cmd_stubs(args) -> None:
+    rows = restore_stub_stats(args.names, scale=args.scale, theta_paper=1e-4)
+    print(
+        ascii_table(
+            ["program", "compile-time fraction", "max live", "created"],
+            [
+                [r.name, percent(r.compile_time_fraction),
+                 r.max_live_stubs, r.stubs_created]
+                for r in rows
+            ],
+            title="Restore stubs (Section 2.2)",
+        )
+    )
+
+
+def _cmd_ratio(args) -> None:
+    rows = compression_ratio_stats(args.names, scale=args.scale)
+    print(
+        ascii_table(
+            ["program", "compressed/original", "stream only"],
+            [
+                [r.name, percent(r.ratio), percent(r.stream_ratio)]
+                for r in rows
+            ],
+            title="Compression factor at θ=1 (Section 3)",
+        )
+    )
+
+
+def _cmd_safe(args) -> None:
+    rows = buffer_safe_stats(args.names, scale=args.scale)
+    print(
+        ascii_table(
+            ["program", "safe functions", "safe call sites"],
+            [
+                [r.name, percent(r.safe_function_fraction),
+                 percent(r.safe_call_fraction)]
+                for r in rows
+            ],
+            title="Buffer-safe analysis (Section 6.1)",
+        )
+    )
+
+
+def _cmd_squash(args) -> None:
+    name = args.names[0]
+    config = SquashConfig(theta=args.theta).with_buffer_bound(args.bound)
+    result = squash_benchmark(name, args.scale, config)
+    fp = result.footprint
+    print(f"{name} at theta={args.theta}, K={args.bound} bytes:")
+    print(f"  baseline {result.baseline_words} -> {fp.total} words "
+          f"({percent(result.reduction)} reduction)")
+    print(f"  regions {len(result.info.regions)}, "
+          f"entry stubs {result.info.entry_stub_count}, "
+          f"xcall sites {result.info.xcall_sites}, "
+          f"gamma {result.info.gamma_measured:.2f}")
+    if args.run:
+        base = baseline_run(name, args.scale)
+        run = squashed_run(name, args.scale, config)
+        ok = run.output == base.output
+        print(f"  timing run: {run.cycles / base.cycles:.3f}x relative "
+              f"time, outputs {'match' if ok else 'DIVERGE'}")
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig6": _cmd_fig6,
+    "fig7a": _cmd_fig7a,
+    "fig7b": _cmd_fig7b,
+    "stubs": _cmd_stubs,
+    "ratio": _cmd_ratio,
+    "safe": _cmd_safe,
+    "squash": _cmd_squash,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Profile-Guided Code "
+        "Compression' (PLDI 2002).",
+    )
+    parser.add_argument(
+        "command",
+        choices=[*_COMMANDS, "all"],
+        help="experiment to regenerate",
+    )
+    parser.add_argument(
+        "--names", nargs="*", default=list(MEDIABENCH),
+        help="benchmark subset (default: all eleven)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.5,
+        help="program scale relative to Table 1 (default 0.5)",
+    )
+    parser.add_argument(
+        "--theta", type=float, default=0.0,
+        help="cold-code threshold for the squash command",
+    )
+    parser.add_argument(
+        "--bound", type=int, default=512,
+        help="buffer bound in bytes for the squash command",
+    )
+    parser.add_argument(
+        "--run", action="store_true",
+        help="also execute the squashed image (squash command)",
+    )
+    args = parser.parse_args(argv)
+    args.names = tuple(args.names)
+
+    try:
+        if args.command == "all":
+            for name, command in _COMMANDS.items():
+                if name == "squash":
+                    continue
+                command(args)
+                print()
+        else:
+            _COMMANDS[args.command](args)
+    except BrokenPipeError:  # e.g. `repro fig6 | head`
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Splitting-streams compression with canonical Huffman codes (Section 3).
+
+The compressor splits each instruction into its typed fields, builds
+one canonical Huffman code per field kind, and merges all per-stream
+codeword sequences into a single bitstream driven by the opcode stream:
+decoding an opcode tells the decoder which field codes to use next, so
+no stream boundaries need to be stored.  The compressed program
+consists of the code representation (the ``N[i]`` arrays), the value
+lists (the ``D[j]`` arrays), and the merged codeword sequence.
+"""
+
+from repro.compress.bitstream import BitReader, BitWriter
+from repro.compress.huffman import huffman_code_lengths
+from repro.compress.canonical import CanonicalCode
+from repro.compress.mtf import MoveToFront, mtf_encode, mtf_decode
+from repro.compress.streams import (
+    CodecInstr,
+    codec_fields,
+    instruction_to_codec,
+    codec_to_instruction,
+    OP_XCALLD,
+    OP_XCALLI,
+    OP_SENTINEL,
+)
+from repro.compress.codec import ProgramCodec, CodecConfig, CompressedBlob
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "huffman_code_lengths",
+    "CanonicalCode",
+    "MoveToFront",
+    "mtf_encode",
+    "mtf_decode",
+    "CodecInstr",
+    "codec_fields",
+    "instruction_to_codec",
+    "codec_to_instruction",
+    "OP_XCALLD",
+    "OP_XCALLI",
+    "OP_SENTINEL",
+    "ProgramCodec",
+    "CodecConfig",
+    "CompressedBlob",
+]

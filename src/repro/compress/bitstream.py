@@ -1,0 +1,120 @@
+"""Bit-granular I/O over 32-bit word arrays.
+
+The compressed code lives in the image as 32-bit words; the function
+offset table holds *bit* offsets into it (regions start at arbitrary
+bit positions).  Bits are written and read most-significant-first
+within each word.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+WORD_BITS = 32
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into 32-bit words."""
+
+    def __init__(self) -> None:
+        self._words: list[int] = []
+        self._current = 0
+        self._filled = 0  # bits in _current
+        self._length = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return self._length
+
+    def write_bit(self, bit: int) -> None:
+        self.write_bits(bit & 1, 1)
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Write the low *nbits* of *value*, MSB first."""
+        if nbits < 0:
+            raise ValueError("negative bit count")
+        if value < 0 or (nbits < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._length += nbits
+        filled = self._filled
+        current = self._current
+        while nbits > 0:
+            take = min(nbits, WORD_BITS - filled)
+            chunk = (value >> (nbits - take)) & ((1 << take) - 1)
+            current = (current << take) | chunk
+            filled += take
+            nbits -= take
+            if filled == WORD_BITS:
+                self._words.append(current)
+                current = 0
+                filled = 0
+        self._filled = filled
+        self._current = current
+
+    def append_writer(self, other: "BitWriter") -> None:
+        """Append all bits of *other* (used to concatenate regions)."""
+        remaining = other.bit_length
+        for word in other._words:
+            take = min(remaining, WORD_BITS)
+            self.write_bits(word >> (WORD_BITS - take), take)
+            remaining -= take
+        if remaining > 0:
+            self.write_bits(other._current, remaining)
+
+    def to_words(self) -> list[int]:
+        """The bits as whole words, zero-padded at the end."""
+        words = list(self._words)
+        if self._filled:
+            words.append(self._current << (WORD_BITS - self._filled))
+        return words
+
+
+class BitReader:
+    """Reads bits MSB-first from a word sequence, from any bit offset.
+
+    ``words`` may be any indexable word source -- including a slice of
+    VM memory, which is how the runtime decompressor reads the
+    compressed area of the image.
+    """
+
+    def __init__(self, words: Sequence[int], bit_offset: int = 0):
+        self._words = words
+        self._pos = bit_offset
+
+    @property
+    def bit_pos(self) -> int:
+        """Current absolute bit position."""
+        return self._pos
+
+    def seek(self, bit_offset: int) -> None:
+        self._pos = bit_offset
+
+    def read_bit(self) -> int:
+        pos = self._pos
+        word_index, bit_index = divmod(pos, WORD_BITS)
+        try:
+            word = self._words[word_index]
+        except IndexError:
+            raise EOFError(f"bit position {pos} past end of stream") from None
+        self._pos = pos + 1
+        return (word >> (WORD_BITS - 1 - bit_index)) & 1
+
+    def read_bits(self, nbits: int) -> int:
+        """Read *nbits* bits MSB-first as an unsigned integer."""
+        value = 0
+        remaining = nbits
+        while remaining > 0:
+            word_index, bit_index = divmod(self._pos, WORD_BITS)
+            take = min(remaining, WORD_BITS - bit_index)
+            try:
+                word = self._words[word_index]
+            except IndexError:
+                raise EOFError(
+                    f"bit position {self._pos} past end of stream"
+                ) from None
+            chunk = (word >> (WORD_BITS - bit_index - take)) & ((1 << take) - 1)
+            value = (value << take) | chunk
+            self._pos += take
+            remaining -= take
+        return value

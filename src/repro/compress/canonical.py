@@ -1,0 +1,166 @@
+"""Canonical Huffman codes (Section 3 of the paper).
+
+A canonical Huffman code assigns, to the ``N[i]`` symbols that received
+an ``i``-bit Huffman codeword, the consecutive ``i``-bit values
+``b_i, b_i + 1, ..., b_i + N[i] - 1`` where::
+
+    b_1 = 0      and      b_i = 2 * (b_{i-1} + N[i-1])   for i >= 2
+
+The decoder needs only the ``N[i]`` array and the value list ``D``
+(symbols ordered by codeword value); decoding follows the paper's
+DECODE loop verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compress.bitstream import BitReader, BitWriter
+from repro.compress.huffman import huffman_code_lengths
+
+#: Hard cap on codeword length accepted by the (de)serialised tables.
+MAX_CODE_LENGTH = 40
+
+
+@dataclass(frozen=True)
+class CanonicalCode:
+    """A canonical Huffman code over integer symbols.
+
+    ``counts[i]`` is ``N[i]``, the number of codewords of length ``i``
+    (``counts[0]`` is always 0); ``values`` is ``D``, the symbols in
+    codeword order.
+    """
+
+    counts: tuple[int, ...]
+    values: tuple[int, ...]
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_frequencies(cls, frequencies: dict[int, int]) -> "CanonicalCode":
+        """Build the canonical code for a frequency table."""
+        lengths = huffman_code_lengths(frequencies)
+        return cls.from_lengths(lengths)
+
+    @classmethod
+    def from_lengths(cls, lengths: dict[int, int]) -> "CanonicalCode":
+        """Build from per-symbol codeword lengths.
+
+        The canonical ordering assigns smaller codeword values to
+        symbols with shorter codes, breaking ties by symbol value.
+        """
+        if not lengths:
+            raise ValueError("empty code")
+        max_len = max(lengths.values())
+        if max_len > MAX_CODE_LENGTH:
+            raise ValueError(f"codeword length {max_len} exceeds limit")
+        counts = [0] * (max_len + 1)
+        for length in lengths.values():
+            if length <= 0:
+                raise ValueError("codeword lengths must be positive")
+            counts[length] += 1
+        ordered = sorted(lengths, key=lambda sym: (lengths[sym], sym))
+        return cls(counts=tuple(counts), values=tuple(ordered))
+
+    def __post_init__(self) -> None:
+        if sum(self.counts) != len(self.values):
+            raise ValueError("N[] totals do not match value list length")
+        # Kraft equality must hold for a complete prefix code.
+        kraft = sum(
+            count / (1 << i) for i, count in enumerate(self.counts) if i
+        )
+        if self.values and abs(kraft - 1.0) > 1e-9 and len(self.values) > 1:
+            raise ValueError(f"incomplete or overfull code (Kraft={kraft})")
+
+    # -- derived tables ------------------------------------------------------
+
+    @property
+    def max_length(self) -> int:
+        return len(self.counts) - 1
+
+    def first_codewords(self) -> list[int]:
+        """The ``b_i`` values for i = 1 .. max length (paper recurrence)."""
+        firsts = []
+        b = 0
+        for i in range(1, len(self.counts)):
+            if i == 1:
+                b = 0
+            else:
+                b = 2 * (b + self.counts[i - 1])
+            firsts.append(b)
+        return firsts
+
+    def codewords(self) -> dict[int, tuple[int, int]]:
+        """Map symbol -> (codeword value, length)."""
+        table: dict[int, tuple[int, int]] = {}
+        firsts = self.first_codewords()
+        index = 0
+        for i in range(1, len(self.counts)):
+            base = firsts[i - 1]
+            for offset in range(self.counts[i]):
+                table[self.values[index]] = (base + offset, i)
+                index += 1
+        return table
+
+    # -- encode / decode -----------------------------------------------------
+
+    def encoder(self) -> dict[int, tuple[int, int]]:
+        """Precomputed symbol -> (codeword, length) map for encoding."""
+        return self.codewords()
+
+    def encode(self, writer: BitWriter, symbol: int) -> None:
+        code, length = self.codewords()[symbol]
+        writer.write_bits(code, length)
+
+    def decode(self, reader: BitReader) -> int:
+        """The paper's DECODE procedure, verbatim.
+
+        ``v`` accumulates bits; ``b`` tracks the first codeword of the
+        current length; ``j`` counts symbols of shorter lengths.
+        """
+        counts = self.counts
+        max_i = len(counts) - 1
+        v = 0
+        b = 0
+        j = 0
+        i = 0
+        while True:
+            v = 2 * v + reader.read_bit()
+            b = 2 * (b + counts[i])
+            j = j + counts[i]
+            i = i + 1
+            if v < b + counts[i]:
+                return self.values[j + v - b]
+            if i >= max_i:
+                raise ValueError("corrupt bitstream: ran past longest code")
+
+    # -- serialisation -------------------------------------------------------
+
+    def serialise(self, writer: BitWriter, value_bits: int) -> None:
+        """Write the code representation and value list to *writer*.
+
+        Layout: 6 bits max length, then ``N[i]`` (16 bits each, i = 1 ..
+        max length), then the ``D`` array with each value in
+        *value_bits* bits.  This is the space the compressed program
+        pays for its tables.
+        """
+        writer.write_bits(self.max_length, 6)
+        for i in range(1, self.max_length + 1):
+            if self.counts[i] >= (1 << 16):
+                raise ValueError("too many codewords of one length")
+            writer.write_bits(self.counts[i], 16)
+        for value in self.values:
+            writer.write_bits(value, value_bits)
+
+    @classmethod
+    def deserialise(cls, reader: BitReader, value_bits: int) -> "CanonicalCode":
+        """Inverse of :meth:`serialise`."""
+        max_length = reader.read_bits(6)
+        counts = [0] + [reader.read_bits(16) for _ in range(max_length)]
+        total = sum(counts)
+        values = tuple(reader.read_bits(value_bits) for _ in range(total))
+        return cls(counts=tuple(counts), values=values)
+
+    def serialised_bits(self, value_bits: int) -> int:
+        """Exact size of the serialised tables, in bits."""
+        return 6 + 16 * self.max_length + value_bits * len(self.values)

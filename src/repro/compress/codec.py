@@ -1,0 +1,286 @@
+"""The program-level codec: compress regions, decompress on demand.
+
+The whole compressed area of a squashed image is produced here:
+
+* one canonical Huffman code per field-kind stream, built over the
+  union of all compressed regions (the tables are stored once for the
+  whole program);
+* a single merged codeword bitstream, region after region, with the
+  function offset table holding each region's starting *bit* offset;
+* a decoder that starts at any region's bit offset and decodes until
+  the sentinel, exactly what the runtime decompressor does.
+
+Optionally, selected streams get a move-to-front pre-pass (Section 3's
+variant); the MTF recency list resets at region boundaries so regions
+remain independently decodable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.compress.bitstream import BitReader, BitWriter
+from repro.compress.canonical import CanonicalCode
+from repro.compress.dictionary import DictionaryCode
+from repro.compress.mtf import MoveToFront
+from repro.compress.streams import (
+    CodecInstr,
+    OP_SENTINEL,
+    codec_fields,
+    sentinel_item,
+)
+from repro.isa.fields import FIELD_WIDTHS, FieldKind
+
+_OPCODE_BITS = 6
+_KIND_BITS = 5
+_COUNT_BITS = 16
+
+
+#: Coder identifiers stored in the serialized tables.
+_CODER_IDS = {"huffman": 0, "dict": 1}
+_CODER_CLASSES = {0: CanonicalCode, 1: DictionaryCode}
+
+
+@dataclass(frozen=True)
+class CodecConfig:
+    """Compression options."""
+
+    #: Field kinds that get a move-to-front pre-pass before Huffman.
+    mtf_kinds: frozenset[FieldKind] = frozenset()
+    #: Per-stream coder: "huffman" (canonical Huffman, the paper's) or
+    #: "dict" (split-stream dictionary coding; faster, less compact).
+    coder: str = "huffman"
+
+    def __post_init__(self) -> None:
+        if self.coder not in _CODER_IDS:
+            raise ValueError(f"unknown coder {self.coder!r}")
+
+
+@dataclass
+class CompressedBlob:
+    """The compressed program area: tables + merged bitstream."""
+
+    table_words: list[int]
+    stream_words: list[int]
+    #: Bit offset of each region within the stream, in region order.
+    #: This is the content of the paper's function offset table.
+    region_bit_offsets: list[int]
+    table_bits: int
+    stream_bits: int
+
+    @property
+    def total_words(self) -> int:
+        """Words occupied by tables plus stream."""
+        return len(self.table_words) + len(self.stream_words)
+
+
+def _value_bits(kind: FieldKind, mtf_alphabet_size: int | None) -> int:
+    if kind is FieldKind.OPCODE:
+        width = _OPCODE_BITS
+    else:
+        width = FIELD_WIDTHS[kind]
+    if mtf_alphabet_size is not None:
+        width = max(1, math.ceil(math.log2(max(2, mtf_alphabet_size))))
+    return width
+
+
+@dataclass
+class ProgramCodec:
+    """Per-stream codes shared by all compressed regions."""
+
+    codes: dict[FieldKind, CanonicalCode | DictionaryCode]
+    mtf_alphabets: dict[FieldKind, tuple[int, ...]] = field(
+        default_factory=dict
+    )
+    coder: str = "huffman"
+
+    # -- building --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        regions: Sequence[Sequence[CodecInstr]],
+        config: CodecConfig | None = None,
+    ) -> tuple["ProgramCodec", CompressedBlob]:
+        """Build codes over *regions* and encode them all.
+
+        A sentinel is appended to every region.  Returns the codec and
+        the compressed blob (tables + merged stream + region offsets).
+        """
+        config = config or CodecConfig()
+        closed: list[list[CodecInstr]] = [
+            [*region, sentinel_item()] for region in regions
+        ]
+
+        # Pass 1: gather per-kind value sequences (with per-region MTF
+        # reset) and count frequencies.
+        mtf_alphabets: dict[FieldKind, tuple[int, ...]] = {}
+        if config.mtf_kinds:
+            raw_values: dict[FieldKind, set[int]] = {}
+            for region in closed:
+                for item in region:
+                    for kind, value in zip(
+                        codec_fields(item.opcode), item.fields
+                    ):
+                        if kind in config.mtf_kinds:
+                            raw_values.setdefault(kind, set()).add(value)
+            mtf_alphabets = {
+                kind: tuple(sorted(values))
+                for kind, values in raw_values.items()
+            }
+
+        frequencies: dict[FieldKind, dict[int, int]] = {
+            FieldKind.OPCODE: {}
+        }
+        for region in closed:
+            transforms = {
+                kind: MoveToFront(alphabet)
+                for kind, alphabet in mtf_alphabets.items()
+            }
+            for item in region:
+                opfreq = frequencies[FieldKind.OPCODE]
+                opfreq[item.opcode] = opfreq.get(item.opcode, 0) + 1
+                for kind, value in zip(
+                    codec_fields(item.opcode), item.fields
+                ):
+                    if kind in transforms:
+                        value = transforms[kind].encode_one(value)
+                    kfreq = frequencies.setdefault(kind, {})
+                    kfreq[value] = kfreq.get(value, 0) + 1
+
+        def build_code(kind: FieldKind, freq: dict[int, int]):
+            if config.coder == "dict":
+                bits = _value_bits(
+                    kind, len(mtf_alphabets[kind])
+                    if kind in mtf_alphabets else None
+                )
+                return DictionaryCode.from_frequencies(freq, bits)
+            return CanonicalCode.from_frequencies(freq)
+
+        codes = {
+            kind: build_code(kind, freq)
+            for kind, freq in frequencies.items()
+        }
+        codec = cls(
+            codes=codes, mtf_alphabets=mtf_alphabets, coder=config.coder
+        )
+
+        # Pass 2: encode the merged stream.
+        writer = BitWriter()
+        offsets: list[int] = []
+        encoders = {kind: code.encoder() for kind, code in codes.items()}
+        for region in closed:
+            offsets.append(writer.bit_length)
+            transforms = {
+                kind: MoveToFront(alphabet)
+                for kind, alphabet in mtf_alphabets.items()
+            }
+            for item in region:
+                code, length = encoders[FieldKind.OPCODE][item.opcode]
+                writer.write_bits(code, length)
+                for kind, value in zip(
+                    codec_fields(item.opcode), item.fields
+                ):
+                    if kind in transforms:
+                        value = transforms[kind].encode_one(value)
+                    code, length = encoders[kind][value]
+                    writer.write_bits(code, length)
+
+        table_writer = BitWriter()
+        codec._serialise_tables(table_writer)
+        blob = CompressedBlob(
+            table_words=table_writer.to_words(),
+            stream_words=writer.to_words(),
+            region_bit_offsets=offsets,
+            table_bits=table_writer.bit_length,
+            stream_bits=writer.bit_length,
+        )
+        return codec, blob
+
+    # -- table (de)serialisation ------------------------------------------
+
+    def _serialise_tables(self, writer: BitWriter) -> None:
+        kinds = sorted(self.codes, key=int)
+        writer.write_bits(len(kinds), _KIND_BITS)
+        writer.write_bits(_CODER_IDS[self.coder], 2)
+        for kind in kinds:
+            writer.write_bits(int(kind), _KIND_BITS)
+            alphabet = self.mtf_alphabets.get(kind)
+            writer.write_bits(1 if alphabet is not None else 0, 1)
+            if alphabet is not None:
+                writer.write_bits(len(alphabet), _COUNT_BITS)
+                raw_bits = _value_bits(kind, None)
+                for value in alphabet:
+                    writer.write_bits(value, raw_bits)
+                value_bits = _value_bits(kind, len(alphabet))
+            else:
+                value_bits = _value_bits(kind, None)
+            self.codes[kind].serialise(writer, value_bits)
+
+    @classmethod
+    def from_table_words(cls, words: Sequence[int]) -> "ProgramCodec":
+        """Rebuild the codec from the serialised tables in memory.
+
+        This is what the runtime decompressor does once, at load time,
+        from the compressed area of the image.
+        """
+        reader = BitReader(words)
+        count = reader.read_bits(_KIND_BITS)
+        coder_id = reader.read_bits(2)
+        code_class = _CODER_CLASSES[coder_id]
+        codes: dict[FieldKind, CanonicalCode | DictionaryCode] = {}
+        alphabets: dict[FieldKind, tuple[int, ...]] = {}
+        for _ in range(count):
+            kind = FieldKind(reader.read_bits(_KIND_BITS))
+            has_mtf = reader.read_bits(1)
+            if has_mtf:
+                size = reader.read_bits(_COUNT_BITS)
+                raw_bits = _value_bits(kind, None)
+                alphabet = tuple(
+                    reader.read_bits(raw_bits) for _ in range(size)
+                )
+                alphabets[kind] = alphabet
+                value_bits = _value_bits(kind, size)
+            else:
+                value_bits = _value_bits(kind, None)
+            codes[kind] = code_class.deserialise(reader, value_bits)
+        coder_name = {v: k for k, v in _CODER_IDS.items()}[coder_id]
+        return cls(codes=codes, mtf_alphabets=alphabets, coder=coder_name)
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode_region(
+        self, words: Sequence[int], bit_offset: int
+    ) -> tuple[list[CodecInstr], int]:
+        """Decode one region starting at *bit_offset*.
+
+        Stops after the sentinel.  Returns the decoded items (sentinel
+        excluded) and the number of bits consumed -- the runtime charges
+        decompression cost proportional to it.
+        """
+        reader = BitReader(words, bit_offset)
+        opcode_code = self.codes[FieldKind.OPCODE]
+        transforms = {
+            kind: MoveToFront(alphabet)
+            for kind, alphabet in self.mtf_alphabets.items()
+        }
+        items: list[CodecInstr] = []
+        while True:
+            opcode = opcode_code.decode(reader)
+            if opcode == OP_SENTINEL:
+                break
+            values: list[int] = []
+            for kind in codec_fields(opcode):
+                code = self.codes.get(kind)
+                if code is None:
+                    raise ValueError(
+                        f"corrupt tables: no code for stream {kind.name}"
+                    )
+                value = code.decode(reader)
+                if kind in transforms:
+                    value = transforms[kind].decode_one(value)
+                values.append(value)
+            items.append(CodecInstr(opcode=opcode, fields=tuple(values)))
+        return items, reader.bit_pos - bit_offset

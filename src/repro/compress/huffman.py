@@ -1,0 +1,70 @@
+"""Huffman code construction (codeword lengths only).
+
+The canonical Huffman encoding (Section 3) needs only the *lengths* of
+an optimal prefix code; the codewords themselves are derived from the
+per-length counts ``N[i]``.  This module computes those lengths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Hashable, Iterable
+
+
+def huffman_code_lengths(
+    frequencies: dict[Hashable, int],
+) -> dict[Hashable, int]:
+    """Optimal prefix-code length for each symbol.
+
+    Ties are broken deterministically (by combined weight, then by
+    creation order), so the same frequencies always give the same
+    lengths.  A single-symbol alphabet gets a 1-bit code.  Symbols with
+    zero frequency are rejected: the caller decides the alphabet.
+    """
+    if not frequencies:
+        raise ValueError("cannot build a Huffman code for an empty alphabet")
+    for symbol, freq in frequencies.items():
+        if freq <= 0:
+            raise ValueError(f"symbol {symbol!r} has non-positive frequency")
+
+    symbols = list(frequencies)
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+
+    # Heap entries: (weight, tie, node).  Nodes are tagged tuples so that
+    # integer symbols can never collide with internal node ids: a leaf is
+    # ("L", symbol) and an internal node is ("I", id).
+    heap: list[tuple[int, int, tuple[str, object]]] = []
+    for order, symbol in enumerate(symbols):
+        heap.append((frequencies[symbol], order, ("L", symbol)))
+    heapq.heapify(heap)
+    tie = len(symbols)
+
+    parents: dict[int, tuple[tuple[str, object], tuple[str, object]]] = {}
+    node_id = 0
+    while len(heap) > 1:
+        w1, _, n1 = heapq.heappop(heap)
+        w2, _, n2 = heapq.heappop(heap)
+        parents[node_id] = (n1, n2)
+        heapq.heappush(heap, (w1 + w2, tie, ("I", node_id)))
+        tie += 1
+        node_id += 1
+
+    lengths: dict[Hashable, int] = {}
+    _, _, root = heap[0]
+    stack: list[tuple[tuple[str, object], int]] = [(root, 0)]
+    while stack:
+        (tag, payload), depth = stack.pop()
+        if tag == "I":
+            left, right = parents[payload]  # type: ignore[index]
+            stack.append((left, depth + 1))
+            stack.append((right, depth + 1))
+        else:
+            lengths[payload] = depth
+    return lengths
+
+
+def count_frequencies(values: Iterable[Hashable]) -> dict[Hashable, int]:
+    """Frequency table of *values* (first pass of the two-pass encoder)."""
+    return dict(Counter(values))

@@ -1,0 +1,53 @@
+"""Move-to-front coding (the optional pre-pass of Section 3).
+
+MTF replaces each value by its current index in a recency list; values
+that repeat soon after their last use get small indices, which skews
+the index distribution and can help the subsequent Huffman stage.  The
+paper notes the cost: a bigger, slower decompressor.  The recency list
+is reset at every region boundary so regions stay independently
+decompressible at random bit offsets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class MoveToFront:
+    """A move-to-front transformer over a fixed alphabet."""
+
+    def __init__(self, alphabet: Sequence[int]):
+        if len(set(alphabet)) != len(alphabet):
+            raise ValueError("MTF alphabet has duplicates")
+        self._initial = list(alphabet)
+        self._list = list(alphabet)
+
+    def reset(self) -> None:
+        """Restore the initial alphabet order (at a region boundary)."""
+        self._list = list(self._initial)
+
+    def encode_one(self, value: int) -> int:
+        index = self._list.index(value)
+        if index:
+            del self._list[index]
+            self._list.insert(0, value)
+        return index
+
+    def decode_one(self, index: int) -> int:
+        value = self._list[index]
+        if index:
+            del self._list[index]
+            self._list.insert(0, value)
+        return value
+
+
+def mtf_encode(values: Sequence[int], alphabet: Sequence[int]) -> list[int]:
+    """Transform *values* to MTF indices over *alphabet*."""
+    mtf = MoveToFront(alphabet)
+    return [mtf.encode_one(v) for v in values]
+
+
+def mtf_decode(indices: Sequence[int], alphabet: Sequence[int]) -> list[int]:
+    """Inverse of :func:`mtf_encode`."""
+    mtf = MoveToFront(alphabet)
+    return [mtf.decode_one(i) for i in indices]

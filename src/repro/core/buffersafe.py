@@ -1,0 +1,61 @@
+"""Buffer-safe function analysis (Section 6.1 of the paper).
+
+A callee is *buffer-safe* if neither it nor anything it may call can
+invoke the decompressor: a call from compressed code to a buffer-safe
+function can stay an ordinary call -- the buffer cannot be overwritten
+during the callee's execution, so no restore stub is needed and the
+caller is not re-decompressed on return.
+
+The analysis marks as non-buffer-safe every function with a compressed
+block and every function containing an indirect call whose possible
+targets include a non-buffer-safe function, then propagates unsafeness
+from callees to callers (and along inter-region control transfers)
+until a fixpoint; everything unmarked is buffer-safe.
+"""
+
+from __future__ import annotations
+
+from repro.program.cfg import call_graph
+from repro.program.program import Program
+
+
+def buffer_safe_functions(
+    program: Program,
+    compressed_blocks: set[str],
+) -> set[str]:
+    """Names of buffer-safe functions.
+
+    ``compressed_blocks`` is the union of all region blocks.
+    """
+    graph = call_graph(program)
+    unsafe: set[str] = set()
+
+    # Seed: functions with any compressed block.
+    for function in program.functions.values():
+        if any(
+            block.label in compressed_blocks
+            for block in function.blocks.values()
+        ):
+            unsafe.add(function.name)
+
+    # Seed: indirect calls whose target set could contain unsafe code.
+    # Conservatively, an indirect call is dangerous unless every
+    # address-taken function is (eventually) safe; to stay monotone we
+    # treat an indirect call as an edge to every address-taken function
+    # (already encoded by call_graph), so no extra seeding is needed
+    # unless there are indirect calls with *no* known targets.
+    for function in program.functions.values():
+        if function.has_indirect_call and not program.address_taken:
+            unsafe.add(function.name)
+
+    # Propagate: a caller of an unsafe function is unsafe.
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in graph.items():
+            if name in unsafe:
+                continue
+            if any(callee in unsafe for callee in callees):
+                unsafe.add(name)
+                changed = True
+    return set(program.functions) - unsafe

@@ -1,0 +1,101 @@
+"""Cold-code identification (Section 5 of the paper).
+
+Given a threshold θ ∈ [0, 1], find the largest execution frequency N
+such that the blocks with frequency ≤ N together account for at most
+θ · tot_instr_ct dynamic instructions; every block with frequency ≤ N
+is cold.  θ = 0 marks exactly the never-executed blocks (their weight
+is zero); θ = 1 marks everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.profiler import Profile
+
+
+@dataclass
+class ColdCodeResult:
+    """The cold set plus the quantities behind it."""
+
+    cold: set[str]
+    #: The frequency cutoff N.
+    cutoff: int
+    #: Dynamic instructions attributable to the cold set.
+    cold_weight: int
+    #: θ · tot_instr_ct, the budget the cold weight must not exceed.
+    budget: float
+
+
+def identify_cold_blocks(profile: Profile, theta: float) -> ColdCodeResult:
+    """Identify cold blocks at threshold *theta*.
+
+    Blocks are considered in increasing order of execution frequency;
+    whole frequency classes are admitted while the cumulative weight
+    stays within θ · tot_instr_ct.
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError(f"theta must be in [0, 1], got {theta}")
+    budget = theta * profile.tot_instr_ct
+
+    by_freq: dict[int, list[str]] = {}
+    for label, count in profile.counts.items():
+        by_freq.setdefault(count, []).append(label)
+
+    cutoff = -1
+    cold_weight = 0
+    cold: set[str] = set()
+    for freq in sorted(by_freq):
+        class_weight = sum(
+            freq * profile.sizes[label] for label in by_freq[freq]
+        )
+        # Tolerance: θ·tot is a float; admit a class that hits the
+        # budget exactly up to rounding.
+        if cold_weight + class_weight > budget * (1 + 1e-12) + 1e-9:
+            break
+        cold_weight += class_weight
+        cutoff = freq
+        cold.update(by_freq[freq])
+    return ColdCodeResult(
+        cold=cold, cutoff=cutoff, cold_weight=cold_weight, budget=budget
+    )
+
+
+@dataclass
+class ColdCodeStats:
+    """Figure 4's quantities for one program at one θ."""
+
+    theta: float
+    total_code: int
+    cold_code: int
+    compressible_code: int
+
+    @property
+    def cold_fraction(self) -> float:
+        return self.cold_code / self.total_code if self.total_code else 0.0
+
+    @property
+    def compressible_fraction(self) -> float:
+        return (
+            self.compressible_code / self.total_code if self.total_code else 0.0
+        )
+
+
+def cold_code_stats(
+    profile: Profile,
+    theta: float,
+    compressible: set[str],
+) -> ColdCodeStats:
+    """Static-size fractions of cold and compressible code (Figure 4)."""
+    result = identify_cold_blocks(profile, theta)
+    total = sum(profile.sizes.values())
+    cold_size = sum(profile.sizes[label] for label in result.cold)
+    comp_size = sum(
+        profile.sizes[label] for label in compressible if label in profile.sizes
+    )
+    return ColdCodeStats(
+        theta=theta,
+        total_code=total,
+        cold_code=cold_size,
+        compressible_code=comp_size,
+    )

@@ -1,0 +1,74 @@
+"""Space and time cost-model constants for squash.
+
+Space constants follow the paper where it gives numbers: entry stubs
+are 2 words (Section 4's cost function), the runtime restore-stub
+scheme costs 8 bytes (2 words) more per stub than the compile-time
+scheme's 2-word stubs, and the default runtime-buffer bound is K = 512
+bytes, chosen empirically in Figure 3.
+
+Time constants model the software decompressor: a fixed invocation cost
+(register save/restore plus the instruction-cache flush), a per-bit
+cost for the canonical Huffman DECODE loop, and a per-instruction cost
+for materialising decoded words into the buffer.  Figure 7(b) reports
+*relative* slowdowns, which depend on these only through the ratio of
+decompression work to useful work -- both of which we measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.encoding import WORD_BYTES
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All tunable space/time constants."""
+
+    # -- space (words unless noted) ---------------------------------------
+    #: Runtime-buffer bound K, in bytes (paper default: 512).
+    buffer_bound_bytes: int = 512
+    #: Size of one entry stub (call + tag word).
+    entry_stub_words: int = 2
+    #: Size of one compile-time restore stub (call + decompressor call +
+    #: tag).
+    compiletime_restore_stub_words: int = 2
+    #: Size of one runtime restore stub (adds the usage count and the
+    #: call-site key: "an additional 8 bytes per stub").
+    restore_stub_words: int = 4
+    #: Reserved capacity of the runtime stub area, in stubs.  The paper
+    #: observed at most 9 concurrent stubs even at θ = 0.01.
+    stub_area_capacity: int = 16
+    #: Size of the decompressor, including its 32 per-register entry
+    #: points (Section 2.3).  The paper keeps the decompressor "small
+    #: and quick"; this matches a few hundred instructions of canonical
+    #: Huffman decoding plus stub management.
+    decompressor_words: int = 360
+    #: Assumed compression factor γ for the region-formation heuristic
+    #: (the real factor is measured afterwards).  Paper: "approximately
+    #: 66% of its original size".
+    gamma: float = 0.66
+
+    # -- time (cycles) ------------------------------------------------------
+    #: Fixed cost per decompressor invocation (entry dispatch, register
+    #: saves, final i-cache flush and jump).
+    decomp_invoke_cycles: int = 120
+    #: Cost per compressed bit consumed by the DECODE loop.
+    decomp_per_bit_cycles: int = 2
+    #: Cost per instruction materialised into the runtime buffer.
+    decomp_per_instr_cycles: int = 4
+    #: Cost of a CreateStub invocation (lookup + count update).
+    createstub_cycles: int = 30
+    #: Cost when the requested region is already in the buffer.
+    buffer_hit_cycles: int = 12
+
+    @property
+    def buffer_bound_instrs(self) -> int:
+        """K expressed in instructions."""
+        return self.buffer_bound_bytes // WORD_BYTES
+
+    def with_buffer_bound(self, nbytes: int) -> "CostModel":
+        """A copy with a different buffer bound (Figure 3 sweeps this)."""
+        from dataclasses import replace
+
+        return replace(self, buffer_bound_bytes=nbytes)

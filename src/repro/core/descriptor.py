@@ -1,0 +1,175 @@
+"""Shared descriptors for the squashed image.
+
+Everything the runtime decompressor needs is physically present in the
+image (the offset table, the serialized Huffman tables, the compressed
+stream, the stub area); the descriptor carries the *addresses* of those
+areas plus per-region layout facts, playing the role of the squashed
+executable's header.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.costmodel import CostModel
+
+
+class BufferStrategy(enum.Enum):
+    """Buffer-management options of Section 2.2."""
+
+    #: Refuse to compress any block containing a function call
+    #: (option 1 in the paper).
+    NO_CALLS = "no_calls"
+    #: Never discard decompressed code; each region gets a permanent
+    #: area (option 2; JIT-like, large footprint).
+    DECOMPRESS_ONCE = "decompress_once"
+    #: One small buffer; calls out of it overwrite the caller, which is
+    #: restored on return via restore stubs (option 3 -- the paper's).
+    OVERWRITE = "overwrite"
+
+
+class RestoreStubScheme(enum.Enum):
+    """How restore stubs come into existence (Section 2.2)."""
+
+    #: All restore stubs are created at compile time: every call site in
+    #: compressed code gets a permanent 3-word stub.
+    COMPILE_TIME = "compile_time"
+    #: Restore stubs are created on demand by CreateStub and reference
+    #: counted (the paper's scheme).
+    RUNTIME = "runtime"
+
+
+@dataclass
+class RegionDescriptor:
+    """Layout facts for one compressed region."""
+
+    index: int
+    #: Bit offset of the region in the compressed stream (this value is
+    #: also stored in the in-image function offset table).
+    bit_offset: int
+    #: Expanded size in the buffer, in words, including the entry-jump
+    #: slot 0.
+    expanded_size: int
+    #: Address the region is decompressed to (the runtime buffer, or a
+    #: dedicated area under DECOMPRESS_ONCE).
+    base: int
+    #: Buffer slot of each member block (label -> slot; slot 0 is the
+    #: entry jump).
+    block_slots: dict[str, int] = field(default_factory=dict)
+    #: Number of original instructions (pre-expansion, no sentinel).
+    original_instrs: int = 0
+
+
+@dataclass
+class EntryStubInfo:
+    """One entry stub: the in-image trampoline into a compressed block."""
+
+    label: str
+    region: int
+    #: Buffer slot control should reach after decompression.
+    offset: int
+    #: Address of the stub itself.
+    addr: int
+
+
+@dataclass
+class CompileTimeStubInfo:
+    """One compile-time restore stub (COMPILE_TIME scheme only)."""
+
+    addr: int
+    region: int
+    #: Buffer slot of the instruction after the call.
+    return_offset: int
+
+
+@dataclass
+class SquashDescriptor:
+    """Addresses and metadata of every squashed-image area."""
+
+    strategy: BufferStrategy
+    restore_scheme: RestoreStubScheme
+    cost: CostModel
+    #: Base of the decompressor; entry point for return-address register
+    #: r is ``decomp_base + r`` (Section 2.3's multiple entry points).
+    decomp_base: int
+    decomp_words: int
+    offset_table_addr: int
+    table_addr: int
+    table_words: int
+    stream_addr: int
+    stream_words: int
+    stub_area_base: int
+    stub_area_words: int
+    #: Capacity in stubs (RUNTIME scheme).
+    stub_capacity: int
+    buffer_base: int
+    buffer_words: int
+    regions: list[RegionDescriptor] = field(default_factory=list)
+    entry_stubs: list[EntryStubInfo] = field(default_factory=list)
+    compile_time_stubs: list[CompileTimeStubInfo] = field(
+        default_factory=list
+    )
+    #: Whether the decompressor skips decoding when the requested region
+    #: is already buffered.
+    buffer_caching: bool = True
+
+    #: Words of one runtime restore stub: call, tag, usage count, key.
+    RESTORE_STUB_WORDS = 4
+    #: Words of one compile-time restore stub: call, decompressor call,
+    #: tag.
+    CT_STUB_WORDS = 3
+
+    def region(self, index: int) -> RegionDescriptor:
+        return self.regions[index]
+
+    def in_buffer(self, addr: int) -> bool:
+        """True if *addr* lies in the runtime buffer (or, under
+        DECOMPRESS_ONCE, in any region's area)."""
+        return self.buffer_base <= addr < self.buffer_base + self.buffer_words
+
+    def in_stub_area(self, addr: int) -> bool:
+        return (
+            self.stub_area_base
+            <= addr
+            < self.stub_area_base + self.stub_area_words
+        )
+
+    def region_at(self, addr: int) -> RegionDescriptor | None:
+        """The region whose decompression area contains *addr*
+        (meaningful under DECOMPRESS_ONCE)."""
+        for region in self.regions:
+            if region.base <= addr < region.base + region.expanded_size:
+                return region
+        return None
+
+
+def descriptor_to_dict(desc: SquashDescriptor) -> dict:
+    """A JSON-serialisable form of the descriptor (the squashed
+    executable's header, for :meth:`SquashResult.save`)."""
+    import dataclasses
+
+    data = dataclasses.asdict(desc)
+    data["strategy"] = desc.strategy.value
+    data["restore_scheme"] = desc.restore_scheme.value
+    return data
+
+
+def descriptor_from_dict(data: dict) -> SquashDescriptor:
+    """Inverse of :func:`descriptor_to_dict`."""
+    from repro.core.costmodel import CostModel
+
+    data = dict(data)
+    data["strategy"] = BufferStrategy(data["strategy"])
+    data["restore_scheme"] = RestoreStubScheme(data["restore_scheme"])
+    data["cost"] = CostModel(**data["cost"])
+    data["regions"] = [
+        RegionDescriptor(**region) for region in data["regions"]
+    ]
+    data["entry_stubs"] = [
+        EntryStubInfo(**stub) for stub in data["entry_stubs"]
+    ]
+    data["compile_time_stubs"] = [
+        CompileTimeStubInfo(**stub) for stub in data["compile_time_stubs"]
+    ]
+    return SquashDescriptor(**data)

@@ -1,0 +1,205 @@
+"""End-to-end squash: the public entry point.
+
+Typical use::
+
+    from repro import squash, SquashConfig, squeeze, collect_profile
+    from repro.program.layout import layout
+
+    small, _ = squeeze(program)
+    base = layout(small)
+    profile = collect_profile(small, base.image, profiling_input)
+    result = squash(small, profile, SquashConfig(theta=1e-5))
+    machine, runtime = result.make_machine(timing_input)
+    run = machine.run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.compress.codec import CodecConfig
+from repro.core.costmodel import CostModel
+from repro.core.descriptor import (
+    BufferStrategy,
+    RestoreStubScheme,
+    SquashDescriptor,
+)
+from repro.core.metrics import (
+    Footprint,
+    baseline_code_words,
+    squashed_footprint,
+)
+from repro.core.rewriter import RewriteConfig, RewriteInfo, rewrite
+from repro.core.runtime import SquashRuntime
+from repro.program.image import LoadedImage
+from repro.program.layout import TEXT_BASE, layout
+from repro.program.program import Program
+from repro.vm.machine import Machine
+from repro.vm.profiler import Profile
+
+
+@dataclass(frozen=True)
+class SquashConfig:
+    """Every knob of the squash pipeline."""
+
+    #: Cold-code threshold θ (Section 5).  0.0 compresses only
+    #: never-executed code; 1.0 considers everything cold.
+    theta: float = 0.0
+    cost: CostModel = field(default_factory=CostModel)
+    strategy: BufferStrategy = BufferStrategy.OVERWRITE
+    restore_scheme: RestoreStubScheme = RestoreStubScheme.RUNTIME
+    codec: CodecConfig = field(default_factory=CodecConfig)
+    #: Pack small regions together (Section 4).
+    pack: bool = True
+    #: Unswitch cold jump-table dispatches (Section 6.2).
+    unswitch: bool = True
+    #: Skip decoding when the requested region is already buffered.
+    buffer_caching: bool = True
+    #: Region construction: "dfs" (Section 4) or "whole_function"
+    #: (the future-work alternative of Section 9).
+    region_strategy: str = "dfs"
+    text_base: int = TEXT_BASE
+
+    def with_theta(self, theta: float) -> "SquashConfig":
+        return replace(self, theta=theta)
+
+    def with_buffer_bound(self, nbytes: int) -> "SquashConfig":
+        return replace(self, cost=self.cost.with_buffer_bound(nbytes))
+
+
+@dataclass
+class SquashResult:
+    """Everything squash produced for one program at one configuration."""
+
+    image: LoadedImage
+    descriptor: SquashDescriptor
+    info: RewriteInfo
+    footprint: Footprint
+    baseline_words: int
+    config: SquashConfig
+
+    @property
+    def reduction(self) -> float:
+        """Fractional code-size reduction vs. the uncompressed layout."""
+        return self.footprint.reduction_vs(self.baseline_words)
+
+    def make_machine(
+        self,
+        input_words: list[int] | tuple[int, ...] = (),
+        **machine_kwargs,
+    ) -> tuple[Machine, SquashRuntime]:
+        """A fresh machine + runtime pair for this image."""
+        runtime = SquashRuntime(self.descriptor)
+        machine = Machine(
+            self.image,
+            input_words=input_words,
+            services=runtime.services(),
+            **machine_kwargs,
+        )
+        return machine, runtime
+
+    def run(
+        self,
+        input_words: list[int] | tuple[int, ...] = (),
+        max_steps: int = 100_000_000,
+    ):
+        """Convenience: run the squashed program on *input_words*."""
+        machine, runtime = self.make_machine(input_words)
+        result = machine.run(max_steps=max_steps)
+        return result, runtime
+
+    def save(self, prefix) -> tuple[str, str]:
+        """Write the squashed executable to ``<prefix>.img`` (segments
+        + memory) and ``<prefix>.json`` (the runtime descriptor).
+
+        The pair can be reloaded with :func:`load_squashed` and run
+        without the original program or profile.
+        """
+        import json
+        import pathlib
+
+        from repro.core.descriptor import descriptor_to_dict
+        from repro.program.imagefile import save_image
+
+        prefix = pathlib.Path(prefix)
+        image_path = prefix.with_suffix(".img")
+        meta_path = prefix.with_suffix(".json")
+        save_image(self.image, image_path)
+        meta_path.write_text(
+            json.dumps(descriptor_to_dict(self.descriptor))
+        )
+        return str(image_path), str(meta_path)
+
+
+@dataclass
+class LoadedSquash:
+    """A squashed executable loaded from disk: runnable, no sources."""
+
+    image: LoadedImage
+    descriptor: SquashDescriptor
+
+    def make_machine(
+        self, input_words: list[int] | tuple[int, ...] = (), **kwargs
+    ) -> tuple[Machine, SquashRuntime]:
+        runtime = SquashRuntime(self.descriptor)
+        machine = Machine(
+            self.image,
+            input_words=input_words,
+            services=runtime.services(),
+            **kwargs,
+        )
+        return machine, runtime
+
+
+def load_squashed(prefix) -> LoadedSquash:
+    """Load a squashed executable saved by :meth:`SquashResult.save`."""
+    import json
+    import pathlib
+
+    from repro.core.descriptor import descriptor_from_dict
+    from repro.program.imagefile import load_image
+
+    prefix = pathlib.Path(prefix)
+    image = load_image(prefix.with_suffix(".img"))
+    descriptor = descriptor_from_dict(
+        json.loads(prefix.with_suffix(".json").read_text())
+    )
+    return LoadedSquash(image=image, descriptor=descriptor)
+
+
+def squash(
+    program: Program,
+    profile: Profile,
+    config: SquashConfig | None = None,
+) -> SquashResult:
+    """Compress *program*'s cold code guided by *profile*.
+
+    *program* is typically the output of :func:`repro.squeeze.squeeze`
+    and *profile* the result of profiling that same program.
+    """
+    config = config or SquashConfig()
+    rewrite_config = RewriteConfig(
+        theta=config.theta,
+        cost=config.cost,
+        strategy=config.strategy,
+        restore_scheme=config.restore_scheme,
+        codec=config.codec,
+        pack=config.pack,
+        unswitch=config.unswitch,
+        buffer_caching=config.buffer_caching,
+        region_strategy=config.region_strategy,
+        text_base=config.text_base,
+    )
+    image, descriptor, info = rewrite(program, profile, rewrite_config)
+    baseline = baseline_code_words(
+        layout(program, text_base=config.text_base), program
+    )
+    footprint = squashed_footprint(image, info.jump_table_words)
+    return SquashResult(
+        image=image,
+        descriptor=descriptor,
+        info=info,
+        footprint=footprint,
+        baseline_words=baseline,
+        config=config,
+    )

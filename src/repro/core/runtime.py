@@ -1,0 +1,348 @@
+"""The runtime system: decompressor + CreateStub (Sections 2.2-2.3).
+
+The decompressor area of a squashed image has one entry point per
+return-address register (``decomp_base + r``).  Reaching an entry traps
+into this service, which reproduces the paper's combined
+CreateStub/Decompress function:
+
+* if the return address lies **inside the runtime buffer**, the caller
+  is the ``bsr $r, CreateStub`` half of an expanded call: create (or
+  reuse, bumping its usage count) the reference-counted restore stub
+  for this call site, point ``$r`` at it, and resume at the following
+  ``br``/``jsr`` which transfers to the callee;
+* otherwise the return address points at a **tag word** (after an entry
+  stub's or restore stub's call): read the region index and buffer
+  offset from the tag, decrement-and-maybe-free the restore stub if
+  that is where we came from, decompress the region into the buffer
+  (writing the entry jump at slot 0), and jump to the buffer start.
+
+Decompression cost is charged from *measured* work: the exact number of
+compressed bits consumed by the canonical Huffman DECODE loop and the
+number of instructions materialised, plus fixed invocation overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.compress.codec import ProgramCodec
+from repro.compress.streams import (
+    OP_XCALLD,
+    OP_XCALLI,
+    CodecInstr,
+    codec_to_instruction,
+)
+from repro.core.descriptor import (
+    BufferStrategy,
+    RestoreStubScheme,
+    SquashDescriptor,
+)
+from repro.isa.encoding import encode
+from repro.isa.fields import FieldKind, from_bits
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import NUM_REGS, Op, REG_ZERO
+from repro.program.layout import branch_displacement
+from repro.vm.machine import Machine
+
+__all__ = [
+    "BufferStrategy",
+    "RestoreStubScheme",
+    "SquashRuntime",
+    "RuntimeStats",
+    "StubAreaOverflow",
+]
+
+
+class StubAreaOverflow(Exception):
+    """The reserved restore-stub area ran out of slots."""
+
+
+@dataclass
+class RuntimeStats:
+    """Dynamic counters (Section 2.2's in-text numbers come from here)."""
+
+    decompressions: int = 0
+    buffer_hits: int = 0
+    createstub_calls: int = 0
+    stubs_created: int = 0
+    stub_reuses: int = 0
+    stubs_freed: int = 0
+    max_live_stubs: int = 0
+    restore_invocations: int = 0
+    bits_decoded: int = 0
+    instrs_materialised: int = 0
+    decomp_cycles: int = 0
+
+
+class _MemWords:
+    """Word-indexable view of machine memory (the compressed stream)."""
+
+    def __init__(self, machine: Machine, base: int, length: int):
+        self._mem = machine.mem
+        self._base = base
+        self._length = length
+
+    def __getitem__(self, index: int) -> int:
+        if not 0 <= index < self._length:
+            raise IndexError(index)
+        return self._mem[self._base + index]
+
+    def __len__(self) -> int:
+        return self._length
+
+
+class SquashRuntime:
+    """Per-execution runtime state for one squashed image.
+
+    Create one instance per :class:`Machine` and pass
+    :meth:`services` to it; the instance tracks which region is
+    buffered, the live restore stubs, and all statistics.
+    """
+
+    def __init__(self, descriptor: SquashDescriptor):
+        self.desc = descriptor
+        self.stats = RuntimeStats()
+        self.current_region: int | None = None
+        self._materialised: set[int] = set()
+        self._codec: ProgramCodec | None = None
+        self._live_stubs: dict[tuple[int, int], int] = {}
+        self._slot_key: dict[int, tuple[int, int]] = {}
+        self._free_slots = list(range(descriptor.stub_capacity))
+        self._expanded_cache: dict[int, tuple[list[int], int]] = {}
+
+    def services(self) -> dict[int, Callable[[Machine], None]]:
+        """Trap handlers for every decompressor entry point."""
+        handlers: dict[int, Callable[[Machine], None]] = {}
+        for reg in range(NUM_REGS):
+            addr = self.desc.decomp_base + reg
+
+            def handler(machine: Machine, reg: int = reg) -> None:
+                self._dispatch(machine, reg)
+
+            handlers[addr] = handler
+        return handlers
+
+    # -- dispatch --------------------------------------------------------
+
+    def _dispatch(self, machine: Machine, reg: int) -> None:
+        retaddr = machine.regs[reg]
+        desc = self.desc
+        if (
+            desc.strategy is not BufferStrategy.DECOMPRESS_ONCE
+            and desc.in_buffer(retaddr)
+        ):
+            self._create_stub(machine, reg, retaddr)
+        else:
+            self._decompress(machine, retaddr)
+
+    # -- CreateStub (runtime restore stubs) --------------------------------
+
+    def _create_stub(self, machine: Machine, reg: int, retaddr: int) -> None:
+        desc = self.desc
+        if desc.restore_scheme is not RestoreStubScheme.RUNTIME:
+            raise AssertionError(
+                "CreateStub reached under the compile-time stub scheme"
+            )
+        if self.current_region is None:
+            raise AssertionError("CreateStub with no region in the buffer")
+        offset = retaddr - desc.buffer_base
+        key = (self.current_region, offset)
+        slot = self._live_stubs.get(key)
+        if slot is None:
+            if not self._free_slots:
+                raise StubAreaOverflow(
+                    f"no free restore-stub slots for call site {key}"
+                )
+            slot = min(self._free_slots)
+            self._free_slots.remove(slot)
+            stub_addr = self._stub_addr(slot)
+            call = Instruction(
+                Op.BSR,
+                ra=reg,
+                imm=branch_displacement(stub_addr, desc.decomp_base + reg),
+            )
+            machine.write_word(stub_addr, encode(call))
+            machine.write_word(
+                stub_addr + 1,
+                (self.current_region << 16) | (offset + 1),
+            )
+            machine.write_word(stub_addr + 2, 1)
+            machine.write_word(
+                stub_addr + 3, (self.current_region << 16) | offset
+            )
+            self._live_stubs[key] = slot
+            self._slot_key[slot] = key
+            self.stats.stubs_created += 1
+            self.stats.max_live_stubs = max(
+                self.stats.max_live_stubs, len(self._live_stubs)
+            )
+        else:
+            stub_addr = self._stub_addr(slot)
+            count = machine.read_word(stub_addr + 2)
+            machine.write_word(stub_addr + 2, count + 1)
+            self.stats.stub_reuses += 1
+        machine.regs[reg] = self._stub_addr(slot)
+        machine.pc = retaddr  # resume at the br/jsr that reaches the callee
+        self._charge(machine, desc.cost.createstub_cycles)
+        self.stats.createstub_calls += 1
+
+    def _stub_addr(self, slot: int) -> int:
+        return (
+            self.desc.stub_area_base
+            + slot * SquashDescriptor.RESTORE_STUB_WORDS
+        )
+
+    # -- Decompress ---------------------------------------------------------
+
+    def _decompress(self, machine: Machine, retaddr: int) -> None:
+        desc = self.desc
+        tag = machine.read_word(retaddr)
+
+        if desc.in_stub_area(retaddr):
+            self.stats.restore_invocations += 1
+            if desc.restore_scheme is RestoreStubScheme.RUNTIME:
+                self._release_stub(machine, retaddr)
+
+        region_index = tag >> 16
+        offset = tag & 0xFFFF
+        region = desc.region(region_index)
+
+        hit = (
+            region_index in self._materialised
+            if desc.strategy is BufferStrategy.DECOMPRESS_ONCE
+            else (desc.buffer_caching and self.current_region == region_index)
+        )
+        if hit:
+            self.stats.buffer_hits += 1
+            self._charge(machine, desc.cost.buffer_hit_cycles)
+        else:
+            self._fill(machine, region_index)
+        # Entry jump at slot 0, then transfer to the buffer start --
+        # exactly the paper's step 2/5 of Section 2.3.
+        machine.write_word(
+            region.base,
+            encode(Instruction(Op.BR, ra=REG_ZERO, imm=offset - 1)),
+        )
+        machine.pc = region.base
+
+    def _release_stub(self, machine: Machine, retaddr: int) -> None:
+        stub_addr = retaddr - 1
+        slot = (
+            stub_addr - self.desc.stub_area_base
+        ) // SquashDescriptor.RESTORE_STUB_WORDS
+        count = machine.read_word(stub_addr + 2) - 1
+        if count < 0:
+            raise AssertionError("restore-stub usage count went negative")
+        machine.write_word(stub_addr + 2, count)
+        if count == 0:
+            key = self._slot_key.pop(slot)
+            del self._live_stubs[key]
+            self._free_slots.append(slot)
+            self.stats.stubs_freed += 1
+
+    def _fill(self, machine: Machine, region_index: int) -> None:
+        """Decode a region into its area and charge the measured cost."""
+        desc = self.desc
+        region = desc.region(region_index)
+        codec = self._ensure_codec(machine)
+
+        cached = self._expanded_cache.get(region_index)
+        if cached is None:
+            bit_offset = machine.read_word(
+                desc.offset_table_addr + region_index
+            )
+            stream = _MemWords(machine, desc.stream_addr, desc.stream_words)
+            items, bits = codec.decode_region(stream, bit_offset)
+            words = self._expand(items, region.base)
+            if len(words) + 1 != region.expanded_size:
+                raise AssertionError(
+                    f"region {region_index}: expanded to {len(words) + 1} "
+                    f"words, expected {region.expanded_size}"
+                )
+            # Cache the host-side decode (a pure speed optimisation for
+            # the simulation: the guest is still charged the full
+            # measured decode cost below on every miss).
+            self._expanded_cache[region_index] = (words, bits)
+        else:
+            words, bits = cached
+        for index, word in enumerate(words):
+            machine.write_word(region.base + 1 + index, word)
+
+        cost = desc.cost
+        cycles = (
+            cost.decomp_invoke_cycles
+            + cost.decomp_per_bit_cycles * bits
+            + cost.decomp_per_instr_cycles * len(words)
+        )
+        self._charge(machine, cycles)
+        self.stats.decompressions += 1
+        self.stats.bits_decoded += bits
+        self.stats.instrs_materialised += len(words)
+
+        if desc.strategy is BufferStrategy.DECOMPRESS_ONCE:
+            self._materialised.add(region_index)
+        else:
+            self.current_region = region_index
+
+    def _expand(self, items: list[CodecInstr], base: int) -> list[int]:
+        """Materialise decoded items, expanding XCALL pseudo-ops into
+        the two-instruction sequences of Figure 2."""
+        desc = self.desc
+        words: list[int] = []
+        slot = 1
+        for item in items:
+            if item.opcode == OP_XCALLD:
+                link = item.fields[0]
+                disp = from_bits(FieldKind.BDISP, item.fields[1])
+                words.append(
+                    encode(
+                        Instruction(
+                            Op.BSR,
+                            ra=link,
+                            imm=branch_displacement(
+                                base + slot, desc.decomp_base + link
+                            ),
+                        )
+                    )
+                )
+                words.append(
+                    encode(Instruction(Op.BR, ra=REG_ZERO, imm=disp))
+                )
+                slot += 2
+            elif item.opcode == OP_XCALLI:
+                link, rb = item.fields
+                words.append(
+                    encode(
+                        Instruction(
+                            Op.BSR,
+                            ra=link,
+                            imm=branch_displacement(
+                                base + slot, desc.decomp_base + link
+                            ),
+                        )
+                    )
+                )
+                words.append(
+                    encode(Instruction(Op.JSR, ra=REG_ZERO, rb=rb))
+                )
+                slot += 2
+            else:
+                words.append(encode(codec_to_instruction(item)))
+                slot += 1
+        return words
+
+    def _ensure_codec(self, machine: Machine) -> ProgramCodec:
+        """Parse the Huffman tables out of image memory, once."""
+        if self._codec is None:
+            desc = self.desc
+            table = [
+                machine.mem[desc.table_addr + index]
+                for index in range(desc.table_words)
+            ]
+            self._codec = ProgramCodec.from_table_words(table)
+        return self._codec
+
+    def _charge(self, machine: Machine, cycles: int) -> None:
+        machine.charge(cycles)
+        self.stats.decomp_cycles += cycles

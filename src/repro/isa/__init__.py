@@ -1,0 +1,80 @@
+"""A synthetic 32-bit fixed-width RISC instruction set.
+
+The ISA is modelled on the Compaq Alpha (the paper's test platform): a
+6-bit opcode that fully determines the format of the rest of the word,
+32 integer registers with a hardwired zero register, branch/memory/
+operate/jump formats, and PC-relative branch displacements measured in
+instructions.  The properties the compression pipeline relies on --
+fixed-width instructions made of typed fields, where the opcode
+determines which fields follow -- are identical to the Alpha's.
+
+Public surface:
+
+* :class:`~repro.isa.fields.FieldKind` -- the typed fields (one
+  compression stream per kind, cf. Section 3 of the paper).
+* :class:`~repro.isa.opcodes.Op` / :class:`~repro.isa.opcodes.AluOp` /
+  :class:`~repro.isa.opcodes.SysOp` -- opcodes, ALU function codes and
+  system-call numbers.
+* :class:`~repro.isa.instruction.Instruction` -- an immutable decoded
+  instruction.
+* :func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode`
+  -- 32-bit word <-> instruction.
+* :func:`~repro.isa.assembler.assemble` /
+  :func:`~repro.isa.disassembler.disassemble` -- text <-> instructions.
+"""
+
+from repro.isa.fields import FieldKind, FIELD_WIDTHS, field_is_signed
+from repro.isa.opcodes import (
+    Op,
+    AluOp,
+    SysOp,
+    Format,
+    REG_ZERO,
+    REG_SP,
+    REG_RA,
+    REG_AT,
+    REG_T0,
+    REG_V0,
+    REG_A0,
+    NUM_REGS,
+)
+from repro.isa.instruction import (
+    Instruction,
+    nop,
+    halt,
+    sentinel,
+    SENTINEL_WORD,
+)
+from repro.isa.encoding import encode, decode, DecodeError
+from repro.isa.assembler import assemble, AssemblyError
+from repro.isa.disassembler import disassemble, disassemble_one
+
+__all__ = [
+    "FieldKind",
+    "FIELD_WIDTHS",
+    "field_is_signed",
+    "Op",
+    "AluOp",
+    "SysOp",
+    "Format",
+    "REG_ZERO",
+    "REG_SP",
+    "REG_RA",
+    "REG_AT",
+    "REG_T0",
+    "REG_V0",
+    "REG_A0",
+    "NUM_REGS",
+    "Instruction",
+    "nop",
+    "halt",
+    "sentinel",
+    "SENTINEL_WORD",
+    "encode",
+    "decode",
+    "DecodeError",
+    "assemble",
+    "AssemblyError",
+    "disassemble",
+    "disassemble_one",
+]

@@ -1,0 +1,247 @@
+"""A small textual assembler for the synthetic ISA.
+
+The assembler exists for tests and examples: it turns human-readable
+listings into :class:`~repro.isa.instruction.Instruction` sequences.
+Labels are local to one ``assemble`` call and resolve to PC-relative
+branch displacements.
+
+Syntax overview (one instruction per line; ``;`` or ``#`` starts a
+comment; ``label:`` defines a label)::
+
+    loop:
+        ldw   r1, 8(r2)        ; ra, mdisp(rb)
+        addi  r1, 5, r3        ; ra, lit8, rc
+        add   r1, r2, r3       ; ra, rb, rc
+        stw   r3, 0(r2)
+        beq   r3, done         ; ra, label (or numeric displacement)
+        br    loop
+        bsr   r26, loop
+        jsr   r26, (r4)
+        jmp   (r4)
+        ret                    ; short for ret (r26)
+    done:
+        sys   exit
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instruction import Instruction, sentinel
+from repro.isa.opcodes import (
+    AluOp,
+    Op,
+    REG_RA,
+    REG_ZERO,
+    SysOp,
+)
+
+
+class AssemblyError(Exception):
+    """Raised on a syntax or range error in an assembly listing."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_REG_RE = re.compile(r"^r([0-9]|[12][0-9]|3[01])$")
+_MEM_RE = re.compile(r"^(-?\w+)\((r[0-9]+)\)$")
+_IND_RE = re.compile(r"^\((r[0-9]+)\)$")
+
+_ALU_MNEMONICS = {op.name.lower(): op for op in AluOp}
+_BRANCH_MNEMONICS = {
+    "beq": Op.BEQ,
+    "bne": Op.BNE,
+    "blt": Op.BLT,
+    "ble": Op.BLE,
+    "bgt": Op.BGT,
+    "bge": Op.BGE,
+    "blbc": Op.BLBC,
+    "blbs": Op.BLBS,
+}
+_SYS_MNEMONICS = {s.name.lower(): s for s in SysOp}
+
+#: Register-name aliases accepted in listings.
+REG_ALIASES = {
+    "zero": 31,
+    "sp": 30,
+    "at": 28,
+    "ra": 26,
+    "v0": 0,
+    **{f"a{i}": 16 + i for i in range(6)},
+    **{f"s{i}": 9 + i for i in range(6)},
+    "fp": 15,
+}
+
+
+def _parse_reg(token: str, lineno: int) -> int:
+    token = token.strip()
+    if token in REG_ALIASES:
+        return REG_ALIASES[token]
+    match = _REG_RE.match(token)
+    if not match:
+        raise AssemblyError(lineno, f"expected register, got {token!r}")
+    return int(match.group(1))
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token.strip(), 0)
+    except ValueError:
+        raise AssemblyError(lineno, f"expected integer, got {token!r}") from None
+
+
+def _split_operands(rest: str) -> list[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def assemble(text: str) -> list[Instruction]:
+    """Assemble *text* into a list of instructions.
+
+    Branch targets may be labels defined in the same listing or literal
+    integer displacements.
+    """
+    # Pass 1: strip comments, collect labels and raw statements.
+    statements: list[tuple[int, str, str]] = []  # (lineno, mnemonic, rest)
+    labels: dict[str, int] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = re.split(r"[;#]", raw, maxsplit=1)[0].strip()
+        while line:
+            match = re.match(r"^(\w+):\s*", line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels:
+                raise AssemblyError(lineno, f"duplicate label {label!r}")
+            labels[label] = len(statements)
+            line = line[match.end():]
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        statements.append((lineno, mnemonic, rest))
+
+    # Pass 2: encode.
+    instrs: list[Instruction] = []
+    for index, (lineno, mnemonic, rest) in enumerate(statements):
+        instrs.append(
+            _assemble_one(mnemonic, rest, index, labels, lineno)
+        )
+    return instrs
+
+
+def _branch_disp(
+    token: str, index: int, labels: dict[str, int], lineno: int
+) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token] - (index + 1)
+    return _parse_int(token, lineno)
+
+
+def _assemble_one(
+    mnemonic: str,
+    rest: str,
+    index: int,
+    labels: dict[str, int],
+    lineno: int,
+) -> Instruction:
+    ops = _split_operands(rest)
+
+    def arity(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblyError(
+                lineno, f"{mnemonic} expects {n} operand(s), got {len(ops)}"
+            )
+
+    if mnemonic == "nop":
+        arity(0)
+        return Instruction(Op.SPC, imm=SysOp.NOP)
+    if mnemonic == "halt":
+        arity(0)
+        return Instruction(Op.SPC, imm=SysOp.HALT)
+    if mnemonic == "sentinel":
+        arity(0)
+        return sentinel()
+    if mnemonic == "sys":
+        arity(1)
+        sysop = _SYS_MNEMONICS.get(ops[0].lower())
+        if sysop is None:
+            raise AssemblyError(lineno, f"unknown system op {ops[0]!r}")
+        return Instruction(Op.SPC, imm=int(sysop))
+
+    if mnemonic in _ALU_MNEMONICS:
+        arity(3)
+        func = _ALU_MNEMONICS[mnemonic]
+        ra = _parse_reg(ops[0], lineno)
+        rc = _parse_reg(ops[2], lineno)
+        return Instruction(
+            Op.OPR, ra=ra, rb=_parse_reg(ops[1], lineno), rc=rc, func=int(func)
+        )
+    if mnemonic.endswith("i") and mnemonic[:-1] in _ALU_MNEMONICS:
+        arity(3)
+        func = _ALU_MNEMONICS[mnemonic[:-1]]
+        ra = _parse_reg(ops[0], lineno)
+        lit = _parse_int(ops[1], lineno)
+        rc = _parse_reg(ops[2], lineno)
+        return Instruction(Op.OPI, ra=ra, rc=rc, func=int(func), imm=lit)
+
+    if mnemonic in ("lda", "ldah", "ldw", "stw"):
+        arity(2)
+        ra = _parse_reg(ops[0], lineno)
+        match = _MEM_RE.match(ops[1])
+        if not match:
+            raise AssemblyError(
+                lineno, f"expected disp(reg) operand, got {ops[1]!r}"
+            )
+        disp = _parse_int(match.group(1), lineno)
+        rb = _parse_reg(match.group(2), lineno)
+        op = {"lda": Op.LDA, "ldah": Op.LDAH, "ldw": Op.LDW, "stw": Op.STW}[
+            mnemonic
+        ]
+        return Instruction(op, ra=ra, rb=rb, imm=disp)
+
+    if mnemonic in _BRANCH_MNEMONICS:
+        arity(2)
+        ra = _parse_reg(ops[0], lineno)
+        disp = _branch_disp(ops[1], index, labels, lineno)
+        return Instruction(_BRANCH_MNEMONICS[mnemonic], ra=ra, imm=disp)
+
+    if mnemonic == "br":
+        arity(1)
+        return Instruction(
+            Op.BR, ra=REG_ZERO, imm=_branch_disp(ops[0], index, labels, lineno)
+        )
+    if mnemonic == "bsr":
+        arity(2)
+        ra = _parse_reg(ops[0], lineno)
+        disp = _branch_disp(ops[1], index, labels, lineno)
+        return Instruction(Op.BSR, ra=ra, imm=disp)
+
+    if mnemonic in ("jmp", "jsr", "ret"):
+        op = {"jmp": Op.JMP, "jsr": Op.JSR, "ret": Op.RET}[mnemonic]
+        if mnemonic == "ret" and not ops:
+            return Instruction(op, ra=REG_ZERO, rb=REG_RA)
+        if mnemonic in ("jmp", "ret"):
+            arity(1)
+            link, target = "r31", ops[0]
+        else:
+            arity(2)
+            link, target = ops[0], ops[1]
+        match = _IND_RE.match(target.strip())
+        if not match:
+            raise AssemblyError(
+                lineno, f"expected (reg) operand, got {target!r}"
+            )
+        return Instruction(
+            op,
+            ra=_parse_reg(link, lineno),
+            rb=_parse_reg(match.group(1), lineno),
+        )
+
+    raise AssemblyError(lineno, f"unknown mnemonic {mnemonic!r}")

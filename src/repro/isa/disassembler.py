@@ -1,0 +1,70 @@
+"""Disassembler: instructions back to assembler-compatible text."""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import AluOp, Format, Op, REG_RA, REG_ZERO, SysOp
+
+_BRANCH_NAMES = {
+    Op.BEQ: "beq",
+    Op.BNE: "bne",
+    Op.BLT: "blt",
+    Op.BLE: "ble",
+    Op.BGT: "bgt",
+    Op.BGE: "bge",
+    Op.BLBC: "blbc",
+    Op.BLBS: "blbs",
+}
+
+
+def _reg(index: int) -> str:
+    return f"r{index}"
+
+
+def disassemble_one(instr: Instruction) -> str:
+    """Render one instruction in assembler syntax."""
+    op = instr.op
+    if op is Op.SPC:
+        try:
+            sysop = SysOp(instr.imm)
+        except ValueError:
+            return f".word spc:{instr.imm:#x}"
+        if sysop is SysOp.NOP:
+            return "nop"
+        if sysop is SysOp.HALT:
+            return "halt"
+        return f"sys {sysop.name.lower()}"
+    if op is Op.ILLEGAL:
+        return "sentinel"
+    if instr.format is Format.OPR:
+        name = AluOp(instr.func).name.lower()
+        return f"{name} {_reg(instr.ra)}, {_reg(instr.rb)}, {_reg(instr.rc)}"
+    if instr.format is Format.OPI:
+        name = AluOp(instr.func).name.lower()
+        return f"{name}i {_reg(instr.ra)}, {instr.imm}, {_reg(instr.rc)}"
+    if op in (Op.LDA, Op.LDAH, Op.LDW, Op.STW):
+        return (
+            f"{op.name.lower()} {_reg(instr.ra)}, {instr.imm}({_reg(instr.rb)})"
+        )
+    if op in _BRANCH_NAMES:
+        return f"{_BRANCH_NAMES[op]} {_reg(instr.ra)}, {instr.imm}"
+    if op is Op.BR:
+        if instr.ra == REG_ZERO:
+            return f"br {instr.imm}"
+        return f"bsr {_reg(instr.ra)}, {instr.imm}"  # BR-with-link == call
+    if op is Op.BSR:
+        return f"bsr {_reg(instr.ra)}, {instr.imm}"
+    if op is Op.JMP:
+        return f"jmp ({_reg(instr.rb)})"
+    if op is Op.JSR:
+        return f"jsr {_reg(instr.ra)}, ({_reg(instr.rb)})"
+    if op is Op.RET:
+        if instr.rb == REG_RA and instr.ra == REG_ZERO:
+            return "ret"
+        return f"ret ({_reg(instr.rb)})"
+    raise AssertionError(f"unhandled opcode {op!r}")
+
+
+def disassemble(instrs: list[Instruction]) -> str:
+    """Render a sequence of instructions, one per line."""
+    return "\n".join(disassemble_one(i) for i in instrs)

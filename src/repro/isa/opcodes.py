@@ -1,0 +1,185 @@
+"""Opcode and format definitions for the synthetic RISC ISA.
+
+Like the Alpha, every instruction is one 32-bit word whose top six bits
+are the primary opcode, and the opcode fully determines the format (and
+therefore the typed fields) of the rest of the word.  That property is
+what lets the decompressor of Section 3 merge all per-stream codeword
+sequences into a single bitstream.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.fields import FieldKind
+
+#: Number of architectural integer registers.
+NUM_REGS = 32
+
+#: Hardwired zero register (reads as 0, writes discarded), like Alpha $31.
+REG_ZERO = 31
+#: Stack pointer.
+REG_SP = 30
+#: Conventional return-address (link) register, like Alpha $26.
+REG_RA = 26
+#: Assembler/stub temporary, reserved for stub linkage (like Alpha $at).
+REG_AT = 28
+#: First caller-save temporary.
+REG_T0 = 1
+#: Return-value register.
+REG_V0 = 0
+#: First argument register.
+REG_A0 = 16
+
+
+class Format(enum.Enum):
+    """Instruction formats.  Each format is a fixed field layout."""
+
+    SPC = "spc"    # OP(6) PALF(26)           -- system / special
+    MEM = "mem"    # OP(6) RA(5) RB(5) MDISP(16)
+    MEMI = "memi"  # OP(6) RA(5) RB(5) IMM16(16)
+    BRA = "bra"    # OP(6) RA(5) BDISP(21)
+    JMP = "jmp"    # OP(6) RA(5) RB(5) JHINT(16)
+    OPR = "opr"    # OP(6) RA(5) RB(5) SBZ(3) FUNC(8) RC(5)
+    OPI = "opi"    # OP(6) RA(5) LIT8(8) FUNC(8) RC(5)
+
+
+class Op(enum.IntEnum):
+    """Primary opcodes (the 6-bit OPCODE field)."""
+
+    SPC = 0x00     # special: nop/halt/syscalls/setjmp/longjmp via PALF
+
+    LDA = 0x08     # ra <- rb + imm16
+    LDAH = 0x09    # ra <- rb + (imm16 << 16)
+    LDW = 0x0A     # ra <- mem[rb + mdisp]
+    STW = 0x0B     # mem[rb + mdisp] <- ra
+
+    BR = 0x10      # ra <- return addr; pc <- pc + 1 + bdisp
+    BSR = 0x11     # like BR, but hints a subroutine call
+    BEQ = 0x12     # branch if ra == 0
+    BNE = 0x13     # branch if ra != 0
+    BLT = 0x14     # branch if ra < 0 (signed)
+    BLE = 0x15     # branch if ra <= 0 (signed)
+    BGT = 0x16     # branch if ra > 0 (signed)
+    BGE = 0x17     # branch if ra >= 0 (signed)
+    BLBC = 0x18    # branch if low bit of ra is clear
+    BLBS = 0x19    # branch if low bit of ra is set
+
+    JMP = 0x1A     # ra <- return addr; pc <- rb (indirect jump)
+    JSR = 0x1B     # like JMP, but hints a subroutine call
+    RET = 0x1C     # like JMP, but hints a subroutine return
+
+    OPR = 0x20     # rc <- ra FUNC rb
+    OPI = 0x21     # rc <- ra FUNC lit8 (lit8 zero-extended)
+
+    ILLEGAL = 0x3F  # reserved illegal opcode; used as the sentinel
+
+
+class AluOp(enum.IntEnum):
+    """ALU function codes (the FUNC field of OPR/OPI)."""
+
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    AND = 3
+    OR = 4
+    XOR = 5
+    SLL = 6
+    SRL = 7
+    SRA = 8
+    CMPEQ = 9
+    CMPLT = 10   # signed
+    CMPLE = 11   # signed
+    CMPULT = 12  # unsigned
+    CMPULE = 13  # unsigned
+    UDIV = 14    # unsigned divide; division by zero yields 0
+    UREM = 15    # unsigned remainder; modulo zero yields 0
+
+
+class SysOp(enum.IntEnum):
+    """System / special function codes (the PALF field of SPC)."""
+
+    NOP = 0
+    HALT = 1      # stop with exit code 0
+    READ = 2      # v0 <- next input word, t0 <- 1; or t0 <- 0 at EOF
+    WRITE = 3     # append a0 to the output stream
+    EXIT = 4      # stop with exit code a0
+    SETJMP = 5    # save (pc+1, sp) into jmp_buf at a0; v0 <- 0
+    LONGJMP = 6   # restore (pc, sp) from jmp_buf at a0; v0 <- a1
+
+
+#: Field layout per format: ordered (field kind, Instruction attribute).
+#: SBZ is a constant zero pad and carries no attribute.
+FORMAT_FIELDS: dict[Format, tuple[tuple[FieldKind, str | None], ...]] = {
+    Format.SPC: ((FieldKind.PALF, "imm"),),
+    Format.MEM: (
+        (FieldKind.RA, "ra"),
+        (FieldKind.RB, "rb"),
+        (FieldKind.MDISP, "imm"),
+    ),
+    Format.MEMI: (
+        (FieldKind.RA, "ra"),
+        (FieldKind.RB, "rb"),
+        (FieldKind.IMM16, "imm"),
+    ),
+    Format.BRA: (
+        (FieldKind.RA, "ra"),
+        (FieldKind.BDISP, "imm"),
+    ),
+    Format.JMP: (
+        (FieldKind.RA, "ra"),
+        (FieldKind.RB, "rb"),
+        (FieldKind.JHINT, "imm"),
+    ),
+    Format.OPR: (
+        (FieldKind.RA, "ra"),
+        (FieldKind.RB, "rb"),
+        (FieldKind.SBZ, None),
+        (FieldKind.FUNC, "func"),
+        (FieldKind.RC, "rc"),
+    ),
+    Format.OPI: (
+        (FieldKind.RA, "ra"),
+        (FieldKind.LIT8, "imm"),
+        (FieldKind.FUNC, "func"),
+        (FieldKind.RC, "rc"),
+    ),
+}
+
+#: Format of each opcode.
+OP_FORMAT: dict[Op, Format] = {
+    Op.SPC: Format.SPC,
+    Op.LDA: Format.MEMI,
+    Op.LDAH: Format.MEMI,
+    Op.LDW: Format.MEM,
+    Op.STW: Format.MEM,
+    Op.BR: Format.BRA,
+    Op.BSR: Format.BRA,
+    Op.BEQ: Format.BRA,
+    Op.BNE: Format.BRA,
+    Op.BLT: Format.BRA,
+    Op.BLE: Format.BRA,
+    Op.BGT: Format.BRA,
+    Op.BGE: Format.BRA,
+    Op.BLBC: Format.BRA,
+    Op.BLBS: Format.BRA,
+    Op.JMP: Format.JMP,
+    Op.JSR: Format.JMP,
+    Op.RET: Format.JMP,
+    Op.OPR: Format.OPR,
+    Op.OPI: Format.OPI,
+    Op.ILLEGAL: Format.SPC,
+}
+
+#: Conditional branch opcodes (two successors: target and fall-through).
+COND_BRANCH_OPS = frozenset(
+    {Op.BEQ, Op.BNE, Op.BLT, Op.BLE, Op.BGT, Op.BGE, Op.BLBC, Op.BLBS}
+)
+
+#: Direct call opcode(s).  ``BR`` with a non-zero link register is also a
+#: call by convention, but the workload generator and rewriter only emit
+#: ``BSR`` for direct calls.
+DIRECT_CALL_OPS = frozenset({Op.BSR})
+
+#: Indirect control-transfer opcodes.
+INDIRECT_OPS = frozenset({Op.JMP, Op.JSR, Op.RET})

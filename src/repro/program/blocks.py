@@ -1,0 +1,138 @@
+"""Basic blocks with symbolic control-transfer targets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+@dataclass
+class JumpTableInfo:
+    """Metadata for an indirect jump through a jump table.
+
+    In a binary-rewriting setting the extent of a jump table may or may
+    not be recoverable (Section 6.2); ``extent_known`` models that.  The
+    ``data_symbol`` names the :class:`~repro.program.data.DataObject`
+    holding the table; its relocations name the target blocks.
+    """
+
+    data_symbol: str
+    extent_known: bool = True
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of instructions with one control exit.
+
+    Control-transfer targets are symbolic:
+
+    * ``branch_target`` -- the label targeted by a terminating
+      conditional or unconditional PC-relative branch.
+    * ``fallthrough`` -- the label executed when control falls off the
+      end (present for conditional branches, calls and plain blocks;
+      absent after ``br``/``ret``/``jmp``/``exit``).
+    * ``call_targets`` -- function names for the direct calls (``bsr``)
+      inside the block, keyed by instruction index.  Calls do not end a
+      block.
+    * ``data_refs`` -- data-symbol relocations for ``lda``/``ldah``
+      instructions, keyed by instruction index: the immediate becomes
+      the low/high half of the symbol's final address at layout time.
+    * ``jump_table`` -- set when the terminator is an indirect ``jmp``
+      through a jump table.
+
+    The displacement/immediate fields of branch, call, and relocated
+    instructions inside ``instrs`` are placeholders until
+    :func:`repro.program.layout.layout` resolves them.
+    """
+
+    label: str
+    instrs: list[Instruction] = field(default_factory=list)
+    fallthrough: str | None = None
+    branch_target: str | None = None
+    call_targets: dict[int, str] = field(default_factory=dict)
+    data_refs: dict[int, str] = field(default_factory=dict)
+    jump_table: JumpTableInfo | None = None
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("basic block needs a non-empty label")
+
+    @property
+    def size(self) -> int:
+        """Number of instructions in the block."""
+        return len(self.instrs)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The last instruction, or None for an empty block."""
+        if not self.instrs:
+            return None
+        return self.instrs[-1]
+
+    @property
+    def ends_in_cond_branch(self) -> bool:
+        term = self.terminator
+        return term is not None and term.is_cond_branch
+
+    @property
+    def ends_in_uncond_branch(self) -> bool:
+        term = self.terminator
+        return term is not None and term.op is Op.BR and term.ra == 31
+
+    @property
+    def ends_in_indirect_jump(self) -> bool:
+        term = self.terminator
+        return term is not None and term.op is Op.JMP
+
+    @property
+    def has_call(self) -> bool:
+        """True if the block contains any call (direct or indirect)."""
+        if self.call_targets:
+            return True
+        return any(i.is_indirect_call for i in self.instrs)
+
+    def call_sites(self) -> list[tuple[int, str | None]]:
+        """All call instructions as (index, direct target or None)."""
+        sites: list[tuple[int, str | None]] = []
+        for index, instr in enumerate(self.instrs):
+            if instr.is_direct_call:
+                sites.append((index, self.call_targets.get(index)))
+            elif instr.is_indirect_call:
+                sites.append((index, None))
+        return sites
+
+    def copy(self) -> "BasicBlock":
+        """A deep-enough copy (instructions are immutable)."""
+        return BasicBlock(
+            label=self.label,
+            instrs=list(self.instrs),
+            fallthrough=self.fallthrough,
+            branch_target=self.branch_target,
+            call_targets=dict(self.call_targets),
+            data_refs=dict(self.data_refs),
+            jump_table=self.jump_table,
+        )
+
+    def rebuild(self, kept: list[int]) -> None:
+        """Keep only the instructions at the (sorted) old indices *kept*,
+        remapping ``call_targets`` and ``data_refs`` accordingly."""
+        index_map = {old: new for new, old in enumerate(kept)}
+        self.instrs = [self.instrs[old] for old in kept]
+        self.call_targets = {
+            index_map[old]: target
+            for old, target in self.call_targets.items()
+            if old in index_map
+        }
+        self.data_refs = {
+            index_map[old]: symbol
+            for old, symbol in self.data_refs.items()
+            if old in index_map
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BasicBlock({self.label!r}, {len(self.instrs)} instrs, "
+            f"ft={self.fallthrough!r}, br={self.branch_target!r})"
+        )

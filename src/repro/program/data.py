@@ -1,0 +1,42 @@
+"""Data objects: initialised words plus relocations to code labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DataObject:
+    """A named, contiguous run of data words.
+
+    ``relocs`` maps word indices to code labels (block labels or
+    function names); at layout time those words receive the final
+    address of the label.  Jump tables and function-pointer tables are
+    DataObjects whose every entry is a relocation.
+    """
+
+    name: str
+    words: list[int] = field(default_factory=list)
+    relocs: dict[int, str] = field(default_factory=dict)
+    is_jump_table: bool = False
+
+    def __post_init__(self) -> None:
+        for index in self.relocs:
+            if not 0 <= index < len(self.words):
+                raise ValueError(
+                    f"relocation index {index} outside data object "
+                    f"{self.name!r} of {len(self.words)} words"
+                )
+
+    @property
+    def size(self) -> int:
+        """Size in words."""
+        return len(self.words)
+
+    def copy(self) -> "DataObject":
+        return DataObject(
+            name=self.name,
+            words=list(self.words),
+            relocs=dict(self.relocs),
+            is_jump_table=self.is_jump_table,
+        )

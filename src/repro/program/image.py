@@ -1,0 +1,79 @@
+"""Loaded images: the memory the VM executes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A named address range inside an image (for accounting/debug)."""
+
+    name: str
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+@dataclass
+class LoadedImage:
+    """A laid-out program: words in memory plus symbol metadata.
+
+    Addresses are word addresses (the machine is word-addressed; one
+    instruction per word).  ``block_heads`` maps the first address of
+    every basic block to its label, which is what the basic-block
+    profiler counts.
+    """
+
+    memory: list[int]
+    base: int
+    entry_pc: int
+    segments: list[Segment] = field(default_factory=list)
+    symbols: dict[str, int] = field(default_factory=dict)
+    block_heads: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.base + len(self.memory)
+
+    def segment(self, name: str) -> Segment:
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(name)
+
+    def has_segment(self, name: str) -> bool:
+        return any(seg.name == name for seg in self.segments)
+
+    def word(self, addr: int) -> int:
+        """Read the image word at *addr*."""
+        index = addr - self.base
+        if not 0 <= index < len(self.memory):
+            raise IndexError(f"address {addr:#x} outside image")
+        return self.memory[index]
+
+    def segment_of(self, addr: int) -> Segment | None:
+        for seg in self.segments:
+            if seg.contains(addr):
+                return seg
+        return None
+
+    @property
+    def code_size_words(self) -> int:
+        """Total size of all code-bearing segments, in words.
+
+        This is the paper's notion of the program's code footprint: for
+        a squashed image it includes never-compressed code, stubs, the
+        function offset table, the decompressor, the compressed code,
+        the runtime stub area, and the runtime buffer (Section 2.1).
+        """
+        return sum(
+            seg.size for seg in self.segments if seg.name != "data"
+        )

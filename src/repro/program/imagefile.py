@@ -1,0 +1,120 @@
+"""On-disk format for loaded images (a minimal executable format).
+
+A real `squash` emits an executable file; this module gives the
+reproduction the same property.  The format is little-endian 32-bit
+words::
+
+    magic 'SQIM' | version | base | entry_pc
+    n_segments | per segment: name-length, name bytes (padded), start, size
+    n_symbols  | per symbol:  name-length, name bytes (padded), address
+    n_heads    | per head:    address, label-length, label bytes (padded)
+    n_words    | memory words
+
+Squashed images additionally need their runtime descriptor; see
+:func:`repro.core.descriptor.descriptor_to_dict` and
+:meth:`repro.core.pipeline.SquashResult.save`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import struct
+
+from repro.program.image import LoadedImage, Segment
+
+MAGIC = 0x5351494D  # 'SQIM'
+VERSION = 1
+
+
+class ImageFormatError(Exception):
+    """Raised on a malformed image file."""
+
+
+def _pack_str(parts: list[bytes], text: str) -> None:
+    data = text.encode("utf-8")
+    parts.append(struct.pack("<I", len(data)))
+    padded = data + b"\0" * (-len(data) % 4)
+    parts.append(padded)
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def u32(self) -> int:
+        if self.pos + 4 > len(self.data):
+            raise ImageFormatError("truncated image file")
+        (value,) = struct.unpack_from("<I", self.data, self.pos)
+        self.pos += 4
+        return value
+
+    def text(self) -> str:
+        length = self.u32()
+        end = self.pos + length
+        if end > len(self.data):
+            raise ImageFormatError("truncated string")
+        value = self.data[self.pos : end].decode("utf-8")
+        self.pos = end + (-length % 4)
+        return value
+
+
+def save_image(image: LoadedImage, path: str | pathlib.Path) -> None:
+    """Write *image* to *path*."""
+    parts: list[bytes] = [
+        struct.pack("<IIII", MAGIC, VERSION, image.base, image.entry_pc)
+    ]
+    parts.append(struct.pack("<I", len(image.segments)))
+    for seg in image.segments:
+        _pack_str(parts, seg.name)
+        parts.append(struct.pack("<II", seg.start, seg.size))
+    parts.append(struct.pack("<I", len(image.symbols)))
+    for name, addr in image.symbols.items():
+        _pack_str(parts, name)
+        parts.append(struct.pack("<I", addr))
+    parts.append(struct.pack("<I", len(image.block_heads)))
+    for addr, label in image.block_heads.items():
+        parts.append(struct.pack("<I", addr))
+        _pack_str(parts, label)
+    parts.append(struct.pack("<I", len(image.memory)))
+    parts.append(struct.pack(f"<{len(image.memory)}I", *image.memory))
+    pathlib.Path(path).write_bytes(b"".join(parts))
+
+
+def load_image(path: str | pathlib.Path) -> LoadedImage:
+    """Read an image written by :func:`save_image`."""
+    reader = _Reader(pathlib.Path(path).read_bytes())
+    magic = reader.u32()
+    if magic != MAGIC:
+        raise ImageFormatError(f"bad magic {magic:#x}")
+    version = reader.u32()
+    if version != VERSION:
+        raise ImageFormatError(f"unsupported version {version}")
+    base = reader.u32()
+    entry_pc = reader.u32()
+    segments = []
+    for _ in range(reader.u32()):
+        name = reader.text()
+        start, size = reader.u32(), reader.u32()
+        segments.append(Segment(name, start, size))
+    symbols = {}
+    for _ in range(reader.u32()):
+        name = reader.text()
+        symbols[name] = reader.u32()
+    heads = {}
+    for _ in range(reader.u32()):
+        addr = reader.u32()
+        heads[addr] = reader.text()
+    n_words = reader.u32()
+    end = reader.pos + 4 * n_words
+    if end > len(reader.data):
+        raise ImageFormatError("truncated memory")
+    memory = list(struct.unpack_from(f"<{n_words}I", reader.data, reader.pos))
+    return LoadedImage(
+        memory=memory,
+        base=base,
+        entry_pc=entry_pc,
+        segments=segments,
+        symbols=symbols,
+        block_heads=heads,
+    )

@@ -1,0 +1,24 @@
+"""A `squeeze`-like code compactor (the paper's baseline substrate).
+
+The paper applies *squash* to binaries already compacted by *squeeze*
+[Debray et al., TOPLAS 2000], which removes unreachable and dead code
+and performs procedural abstraction, shrinking `cc -O1` binaries by
+roughly 30%.  This package reimplements the relevant passes over our
+IR; Table 1's two columns (Input vs. Squeeze) are the before/after of
+this pipeline.
+"""
+
+from repro.squeeze.unreachable import remove_unreachable
+from repro.squeeze.nops import remove_nops
+from repro.squeeze.deadcode import eliminate_dead_stores
+from repro.squeeze.abstraction import abstract_repeats
+from repro.squeeze.pipeline import squeeze, SqueezeStats
+
+__all__ = [
+    "remove_unreachable",
+    "remove_nops",
+    "eliminate_dead_stores",
+    "abstract_repeats",
+    "squeeze",
+    "SqueezeStats",
+]

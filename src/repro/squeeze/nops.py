@@ -1,0 +1,99 @@
+"""No-op removal and empty-block cleanup.
+
+Compilers pad code with no-ops (alignment, scheduling); a compactor
+strips them.  A block left empty by stripping is deleted and every
+reference to it (fallthroughs, branch targets, jump-table entries,
+function entries) is redirected to its fallthrough successor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import Op, SysOp
+from repro.program.blocks import BasicBlock
+from repro.program.program import Program
+
+
+@dataclass
+class NopStats:
+    nops_removed: int = 0
+    blocks_removed: int = 0
+
+
+def _is_nop(instr) -> bool:
+    return instr.op is Op.SPC and instr.imm == SysOp.NOP
+
+
+def _strip_block(block: BasicBlock) -> int:
+    """Remove no-ops from *block*, fixing index-keyed metadata."""
+    kept = [
+        index
+        for index, instr in enumerate(block.instrs)
+        if not _is_nop(instr)
+    ]
+    removed = len(block.instrs) - len(kept)
+    if removed:
+        block.rebuild(kept)
+    return removed
+
+
+def remove_empty_blocks(program: Program) -> int:
+    """Delete empty blocks, redirecting references; return count."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        # Map each empty block to where control actually goes.
+        redirect: dict[str, str] = {}
+        for function in program.functions.values():
+            for block in function.blocks.values():
+                if not block.instrs:
+                    assert block.fallthrough is not None, (
+                        f"empty block {block.label} has no fallthrough"
+                    )
+                    redirect[block.label] = block.fallthrough
+
+        if not redirect:
+            break
+
+        def resolve(label: str) -> str:
+            seen = set()
+            while label in redirect:
+                if label in seen:  # cycle of empties: keep one
+                    break
+                seen.add(label)
+                label = redirect[label]
+            return label
+
+        for function in program.functions.values():
+            if function.entry in redirect:
+                function.entry = resolve(function.entry)
+            for block in function.blocks.values():
+                if block.fallthrough is not None:
+                    block.fallthrough = resolve(block.fallthrough)
+                if block.branch_target is not None:
+                    block.branch_target = resolve(block.branch_target)
+        for obj in program.data.values():
+            for index, target in list(obj.relocs.items()):
+                if target in redirect:
+                    obj.relocs[index] = resolve(target)
+
+        for function in program.functions.values():
+            for label in list(function.blocks):
+                block = function.blocks[label]
+                if not block.instrs and resolve(label) != label:
+                    del function.blocks[label]
+                    removed += 1
+                    changed = True
+    return removed
+
+
+def remove_nops(program: Program) -> NopStats:
+    """Strip all no-ops from *program* in place."""
+    stats = NopStats()
+    for function in program.functions.values():
+        for block in function.blocks.values():
+            stats.nops_removed += _strip_block(block)
+    stats.blocks_removed = remove_empty_blocks(program)
+    return stats

@@ -1,0 +1,50 @@
+"""The squeeze pipeline: all compaction passes, in order."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.program.program import Program
+from repro.squeeze.abstraction import AbstractionStats, abstract_repeats
+from repro.squeeze.deadcode import DeadCodeStats, eliminate_dead_stores
+from repro.squeeze.nops import NopStats, remove_nops
+from repro.squeeze.unreachable import UnreachableStats, remove_unreachable
+
+
+@dataclass
+class SqueezeStats:
+    """Before/after sizes and per-pass statistics."""
+
+    input_size: int = 0
+    output_size: int = 0
+    unreachable: UnreachableStats = field(default_factory=UnreachableStats)
+    nops: NopStats = field(default_factory=NopStats)
+    dead: DeadCodeStats = field(default_factory=DeadCodeStats)
+    abstraction: AbstractionStats = field(default_factory=AbstractionStats)
+
+    @property
+    def reduction(self) -> float:
+        """Fractional code-size reduction achieved."""
+        if self.input_size == 0:
+            return 0.0
+        return 1.0 - self.output_size / self.input_size
+
+
+def squeeze(
+    program: Program, abstraction_rounds: int = 2
+) -> tuple[Program, SqueezeStats]:
+    """Compact *program*; returns a new program and statistics.
+
+    Pass order mirrors a link-time compactor: reachability first (it
+    exposes nothing for later passes but shrinks their work), then
+    no-op removal, dead-store elimination, and procedural abstraction.
+    """
+    result = program.copy()
+    stats = SqueezeStats(input_size=program.code_size)
+    stats.unreachable = remove_unreachable(result)
+    stats.nops = remove_nops(result)
+    stats.dead = eliminate_dead_stores(result)
+    stats.abstraction = abstract_repeats(result, rounds=abstraction_rounds)
+    stats.output_size = result.code_size
+    result.validate()
+    return result, stats

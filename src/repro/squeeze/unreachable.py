@@ -1,0 +1,66 @@
+"""Unreachable-code elimination.
+
+Blocks not reachable from the program entry (following branches,
+fallthroughs, direct calls, jump tables, and address-taken functions)
+are deleted; functions whose entry block dies are deleted whole, and
+jump tables that no remaining block uses are reclaimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.program.cfg import reachable_blocks
+from repro.program.program import Program
+
+
+@dataclass
+class UnreachableStats:
+    """What the pass removed."""
+
+    blocks_removed: int = 0
+    instrs_removed: int = 0
+    functions_removed: int = 0
+    data_words_reclaimed: int = 0
+
+
+def remove_unreachable(program: Program) -> UnreachableStats:
+    """Delete unreachable blocks/functions from *program* in place."""
+    stats = UnreachableStats()
+    live = reachable_blocks(program)
+
+    for name in list(program.functions):
+        function = program.functions[name]
+        if function.entry not in live:
+            stats.functions_removed += 1
+            stats.blocks_removed += len(function.blocks)
+            stats.instrs_removed += function.size
+            del program.functions[name]
+            program.address_taken.discard(name)
+            continue
+        for label in list(function.blocks):
+            if label not in live:
+                stats.blocks_removed += 1
+                stats.instrs_removed += function.blocks[label].size
+                del function.blocks[label]
+
+    used_tables = {
+        block.jump_table.data_symbol
+        for _, block in program.all_blocks()
+        if block.jump_table is not None
+    }
+    for name in list(program.data):
+        obj = program.data[name]
+        if obj.is_jump_table and name not in used_tables:
+            stats.data_words_reclaimed += obj.size
+            del program.data[name]
+
+    # Drop dangling relocations from surviving data objects (function
+    # pointers to deleted functions cannot be dereferenced by live code).
+    labels = {block.label for _, block in program.all_blocks()}
+    for obj in program.data.values():
+        for index, target in list(obj.relocs.items()):
+            if target not in labels and target not in program.functions:
+                del obj.relocs[index]
+                obj.words[index] = 0
+    return stats

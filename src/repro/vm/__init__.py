@@ -1,0 +1,22 @@
+"""Virtual machine: interpreter, faults, and basic-block profiling."""
+
+from repro.vm.machine import (
+    Machine,
+    RunResult,
+    MachineFault,
+    IllegalInstructionFault,
+    MemoryFault,
+    FuelExhausted,
+)
+from repro.vm.profiler import collect_profile, Profile
+
+__all__ = [
+    "Machine",
+    "RunResult",
+    "MachineFault",
+    "IllegalInstructionFault",
+    "MemoryFault",
+    "FuelExhausted",
+    "collect_profile",
+    "Profile",
+]

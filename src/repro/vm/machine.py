@@ -1,0 +1,398 @@
+"""The interpreter.
+
+The machine is word-addressed: one instruction or data value per
+address.  Registers and memory hold 32-bit unsigned values; signed
+operations reinterpret as two's complement.  The timing model charges
+one cycle per architectural instruction; runtime services (such as the
+squash decompressor) add their own measured cost through
+:meth:`Machine.charge`.
+
+Services: a squashed image contains address ranges (decompressor entry
+points) that trap into Python handlers registered via ``services``.
+This models the paper's software decompressor, whose code occupies real
+space in the image but whose execution we simulate (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.isa.encoding import WORD_MASK
+from repro.isa.opcodes import AluOp, Op, SysOp
+from repro.program.image import LoadedImage
+
+_SIGN_BIT = 1 << 31
+_U32 = WORD_MASK
+
+
+class MachineFault(Exception):
+    """Base class for runtime faults."""
+
+    def __init__(self, message: str, pc: int | None = None):
+        if pc is not None:
+            message = f"pc={pc:#x}: {message}"
+        super().__init__(message)
+        self.pc = pc
+
+
+class IllegalInstructionFault(MachineFault):
+    """Executed an illegal or undecodable instruction."""
+
+
+class MemoryFault(MachineFault):
+    """Out-of-range or forbidden memory access."""
+
+
+class FuelExhausted(MachineFault):
+    """The run exceeded its step budget."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a completed run."""
+
+    exit_code: int
+    output: list[int]
+    steps: int
+    cycles: int
+    block_counts: dict[int, int] = field(default_factory=dict)
+    max_stack_depth: int = 0
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value & _SIGN_BIT else value
+
+
+# Pre-decoded instruction tuples: (op, ra, rb, rc, func, imm).
+_DECODE_CACHE: dict[int, tuple[int, int, int, int, int, int]] = {}
+
+
+def _predecode(word: int) -> tuple[int, int, int, int, int, int]:
+    from repro.isa.encoding import decode
+
+    cached = _DECODE_CACHE.get(word)
+    if cached is None:
+        instr = decode(word)
+        cached = (
+            int(instr.op),
+            instr.ra,
+            instr.rb,
+            instr.rc,
+            instr.func,
+            instr.imm,
+        )
+        _DECODE_CACHE[word] = cached
+    return cached
+
+
+class Machine:
+    """An interpreter instance bound to one loaded image.
+
+    Parameters
+    ----------
+    image:
+        The program image to run.
+    input_words:
+        The input stream consumed by the READ syscall.
+    heap_words / stack_words:
+        Sizes of the zero-initialised heap (above the image) and the
+        stack (at the top of memory; ``sp`` starts at the memory limit).
+    services:
+        Map from trap address to handler.  When the PC reaches a trap
+        address the handler runs instead of a fetch; it must update the
+        PC itself.
+    count_blocks:
+        When true, count executions of each address in
+        ``image.block_heads`` (the basic-block profile).
+    """
+
+    def __init__(
+        self,
+        image: LoadedImage,
+        input_words: list[int] | tuple[int, ...] = (),
+        heap_words: int = 8192,
+        stack_words: int = 8192,
+        services: dict[int, Callable[["Machine"], None]] | None = None,
+        count_blocks: bool = False,
+    ):
+        self.image = image
+        mem_size = image.end + heap_words + stack_words
+        self.mem: list[int] = [0] * mem_size
+        self.mem[image.base : image.end] = image.memory
+        self.regs: list[int] = [0] * 32
+        self.regs[30] = mem_size  # sp at the top; pushes pre-decrement
+        self.pc = image.entry_pc
+        self.heap_base = image.end
+        self.input = list(input_words)
+        self.in_pos = 0
+        self.output: list[int] = []
+        self.steps = 0
+        self.cycles = 0
+        self.exit_code: int | None = None
+        self.services = dict(services or {})
+        self.count_blocks = count_blocks
+        self.block_counts: dict[int, int] = {}
+        self._block_heads = set(image.block_heads) if count_blocks else set()
+        # Guest stores may not touch code segments; services may.  The
+        # data segment may sit between code segments (squashed images
+        # place the compressed area last), so track its range explicitly.
+        if image.has_segment("data"):
+            data_seg = image.segment("data")
+            self._data_start, self._data_end = data_seg.start, data_seg.end
+        else:
+            self._data_start = self._data_end = 0
+        self._min_sp = self.regs[30]
+
+    # -- service/runtime helpers -------------------------------------------
+
+    def charge(self, cycles: int) -> None:
+        """Add *cycles* of modelled runtime-service cost."""
+        self.cycles += cycles
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Privileged store (used by runtime services)."""
+        if not 0 <= addr < len(self.mem):
+            raise MemoryFault(f"service store to {addr:#x}", self.pc)
+        self.mem[addr] = value & _U32
+
+    def read_word(self, addr: int) -> int:
+        """Privileged load (used by runtime services)."""
+        if not 0 <= addr < len(self.mem):
+            raise MemoryFault(f"service load from {addr:#x}", self.pc)
+        return self.mem[addr]
+
+    @property
+    def stack_depth(self) -> int:
+        """Words of stack currently in use."""
+        return len(self.mem) - self.regs[30]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_steps: int = 100_000_000) -> RunResult:
+        """Run until HALT/EXIT; return the result.
+
+        Raises a :class:`MachineFault` subclass on errors, including
+        :class:`FuelExhausted` after *max_steps* instructions.
+        """
+        mem = self.mem
+        regs = self.regs
+        services = self.services
+        heads = self._block_heads
+        counts = self.block_counts
+        mem_len = len(mem)
+        heap_base = self.heap_base
+        data_start = self._data_start
+        data_end = self._data_end
+        pc = self.pc
+        steps = self.steps
+        cycles = self.cycles
+        min_sp = self._min_sp
+        max_steps_total = steps + max_steps
+
+        OP_SPC = int(Op.SPC)
+        OP_LDA, OP_LDAH = int(Op.LDA), int(Op.LDAH)
+        OP_LDW, OP_STW = int(Op.LDW), int(Op.STW)
+        OP_BR, OP_BSR = int(Op.BR), int(Op.BSR)
+        OP_BEQ, OP_BNE = int(Op.BEQ), int(Op.BNE)
+        OP_BLT, OP_BLE = int(Op.BLT), int(Op.BLE)
+        OP_BGT, OP_BGE = int(Op.BGT), int(Op.BGE)
+        OP_BLBC, OP_BLBS = int(Op.BLBC), int(Op.BLBS)
+        OP_JMP, OP_JSR, OP_RET = int(Op.JMP), int(Op.JSR), int(Op.RET)
+        OP_OPR, OP_OPI = int(Op.OPR), int(Op.OPI)
+
+        try:
+            while True:
+                if services:
+                    handler = services.get(pc)
+                    if handler is not None:
+                        self.pc = pc
+                        self.steps = steps
+                        self.cycles = cycles
+                        handler(self)
+                        pc = self.pc
+                        cycles = self.cycles
+                        if self.exit_code is not None:
+                            break
+                        continue
+                if heads and pc in heads:
+                    counts[pc] = counts.get(pc, 0) + 1
+                if steps >= max_steps_total:
+                    raise FuelExhausted("step budget exceeded", pc)
+                if not 0 <= pc < mem_len:
+                    raise MemoryFault("pc outside memory", pc)
+                word = mem[pc]
+                decoded = _DECODE_CACHE.get(word)
+                if decoded is None:
+                    try:
+                        decoded = _predecode(word)
+                    except Exception as exc:
+                        raise IllegalInstructionFault(str(exc), pc) from exc
+                op, ra, rb, rc, func, imm = decoded
+                steps += 1
+                cycles += 1
+
+                if op == OP_OPR or op == OP_OPI:
+                    a = regs[ra]
+                    b = imm if op == OP_OPI else regs[rb]
+                    if func == 0:
+                        value = (a + b) & _U32
+                    elif func == 1:
+                        value = (a - b) & _U32
+                    elif func == 2:
+                        value = (a * b) & _U32
+                    elif func == 3:
+                        value = a & b
+                    elif func == 4:
+                        value = a | b
+                    elif func == 5:
+                        value = a ^ b
+                    elif func == 6:
+                        value = (a << (b & 31)) & _U32
+                    elif func == 7:
+                        value = a >> (b & 31)
+                    elif func == 8:
+                        value = (_signed(a) >> (b & 31)) & _U32
+                    elif func == 9:
+                        value = 1 if a == b else 0
+                    elif func == 10:
+                        value = 1 if _signed(a) < _signed(b) else 0
+                    elif func == 11:
+                        value = 1 if _signed(a) <= _signed(b) else 0
+                    elif func == 12:
+                        value = 1 if a < b else 0
+                    elif func == 13:
+                        value = 1 if a <= b else 0
+                    elif func == 14:
+                        value = a // b if b else 0
+                    elif func == 15:
+                        value = a % b if b else 0
+                    else:
+                        raise IllegalInstructionFault(
+                            f"bad ALU func {func}", pc
+                        )
+                    if rc != 31:
+                        regs[rc] = value
+                    pc += 1
+                elif op == OP_LDW:
+                    addr = (regs[rb] + imm) & _U32
+                    if addr >= mem_len:
+                        raise MemoryFault(f"load from {addr:#x}", pc)
+                    if ra != 31:
+                        regs[ra] = mem[addr]
+                    pc += 1
+                elif op == OP_STW:
+                    addr = (regs[rb] + imm) & _U32
+                    if addr >= mem_len or (
+                        addr < heap_base
+                        and not data_start <= addr < data_end
+                    ):
+                        raise MemoryFault(f"store to {addr:#x}", pc)
+                    mem[addr] = regs[ra]
+                    pc += 1
+                elif op == OP_LDA:
+                    if ra != 31:
+                        regs[ra] = (regs[rb] + imm) & _U32
+                        if ra == 30 and regs[30] < min_sp:
+                            min_sp = regs[30]
+                    pc += 1
+                elif op == OP_LDAH:
+                    if ra != 31:
+                        regs[ra] = (regs[rb] + (imm << 16)) & _U32
+                    pc += 1
+                elif OP_BEQ <= op <= OP_BLBS:
+                    a = regs[ra]
+                    if op == OP_BEQ:
+                        taken = a == 0
+                    elif op == OP_BNE:
+                        taken = a != 0
+                    elif op == OP_BLT:
+                        taken = bool(a & _SIGN_BIT)
+                    elif op == OP_BLE:
+                        taken = a == 0 or bool(a & _SIGN_BIT)
+                    elif op == OP_BGT:
+                        taken = a != 0 and not a & _SIGN_BIT
+                    elif op == OP_BGE:
+                        taken = not a & _SIGN_BIT
+                    elif op == OP_BLBC:
+                        taken = not a & 1
+                    else:
+                        taken = bool(a & 1)
+                    pc = pc + 1 + imm if taken else pc + 1
+                elif op == OP_BR or op == OP_BSR:
+                    if ra != 31:
+                        regs[ra] = pc + 1
+                    pc = pc + 1 + imm
+                elif op == OP_JMP or op == OP_JSR or op == OP_RET:
+                    target = regs[rb]
+                    if ra != 31:
+                        regs[ra] = pc + 1
+                    pc = target
+                elif op == OP_SPC:
+                    if imm == 0:  # NOP
+                        pc += 1
+                    elif imm == 1:  # HALT
+                        self.exit_code = 0
+                        break
+                    elif imm == 2:  # READ
+                        if self.in_pos < len(self.input):
+                            regs[0] = self.input[self.in_pos] & _U32
+                            regs[1] = 1
+                            self.in_pos += 1
+                        else:
+                            regs[1] = 0
+                        pc += 1
+                    elif imm == 3:  # WRITE
+                        self.output.append(regs[16])
+                        pc += 1
+                    elif imm == 4:  # EXIT
+                        self.exit_code = regs[16]
+                        break
+                    elif imm == 5:  # SETJMP
+                        buf = regs[16]
+                        if buf + 4 > mem_len or (
+                            buf < heap_base
+                            and not data_start <= buf < data_end
+                        ):
+                            raise MemoryFault(f"setjmp buf {buf:#x}", pc)
+                        mem[buf] = pc + 1
+                        mem[buf + 1] = regs[30]
+                        mem[buf + 2] = regs[15]
+                        mem[buf + 3] = regs[26]
+                        regs[0] = 0
+                        pc += 1
+                    elif imm == 6:  # LONGJMP
+                        buf = regs[16]
+                        if buf + 4 > mem_len:
+                            raise MemoryFault(f"longjmp buf {buf:#x}", pc)
+                        value = regs[17]
+                        pc = mem[buf]
+                        regs[30] = mem[buf + 1]
+                        regs[15] = mem[buf + 2]
+                        regs[26] = mem[buf + 3]
+                        regs[0] = value if value else 1
+                    else:
+                        raise IllegalInstructionFault(
+                            f"bad system op {imm}", pc
+                        )
+                else:
+                    raise IllegalInstructionFault(
+                        f"sentinel or illegal opcode {op:#x} executed", pc
+                    )
+                if regs[30] < min_sp:
+                    min_sp = regs[30]
+        finally:
+            self.pc = pc
+            self.steps = steps
+            self.cycles = cycles
+            self._min_sp = min_sp
+
+        assert self.exit_code is not None
+        return RunResult(
+            exit_code=self.exit_code,
+            output=list(self.output),
+            steps=self.steps,
+            cycles=self.cycles,
+            block_counts=dict(self.block_counts),
+            max_stack_depth=len(self.mem) - self._min_sp,
+        )

@@ -1,0 +1,32 @@
+"""Synthetic MediaBench-like workloads.
+
+The paper evaluates on eleven MediaBench embedded applications compiled
+for Alpha/Tru64 -- a toolchain we cannot run.  This package generates
+*executable* programs in our ISA with the same structural properties
+the experiments depend on: static sizes matching Table 1, an 80/20
+hot/cold execution split, a ladder of rarely-executed code that the θ
+sweep peels off gradually, never-executed error paths, planted
+unreachable/dead/duplicated code for `squeeze` to reclaim, jump tables,
+indirect calls, recursion, and setjmp/longjmp.  Profiling and timing
+inputs differ the way the paper's do (Figure 5): the timing input is
+larger and exercises some code the profile never touched.
+"""
+
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.generator import build_workload, GeneratedWorkload
+from repro.workloads.inputs import make_input
+from repro.workloads.mediabench import (
+    MEDIABENCH,
+    mediabench_spec,
+    mediabench_program,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "build_workload",
+    "GeneratedWorkload",
+    "make_input",
+    "MEDIABENCH",
+    "mediabench_spec",
+    "mediabench_program",
+]

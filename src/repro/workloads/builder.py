@@ -1,0 +1,171 @@
+"""Low-level code-generation helpers for the workload generator."""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction, alu_ri, alu_rr
+from repro.isa.opcodes import AluOp, Op, REG_RA, REG_ZERO, SysOp
+from repro.program.blocks import BasicBlock, JumpTableInfo
+from repro.program.function import Function
+from repro.program.program import Program
+
+#: Argument, value and temp registers used by generated code.
+A0, A1 = 16, 17
+V0 = 0
+T = (1, 2, 3, 4, 5, 6, 7, 8)  # caller-save temps
+SP = 30
+RA = REG_RA
+
+
+class BlockBuilder:
+    """Accumulates instructions and metadata for one basic block."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instrs: list[Instruction] = []
+        self.call_targets: dict[int, str] = {}
+        self.data_refs: dict[int, str] = {}
+        self.fallthrough: str | None = None
+        self.branch_target: str | None = None
+        self.jump_table: JumpTableInfo | None = None
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, instr: Instruction) -> "BlockBuilder":
+        self.instrs.append(instr)
+        return self
+
+    def ri(self, op: AluOp, ra: int, lit: int, rc: int) -> "BlockBuilder":
+        return self.emit(alu_ri(op, ra, lit, rc))
+
+    def rr(self, op: AluOp, ra: int, rb: int, rc: int) -> "BlockBuilder":
+        return self.emit(alu_rr(op, ra, rb, rc))
+
+    def li(self, value: int, rc: int) -> "BlockBuilder":
+        """Load a small constant (0..255) into *rc*."""
+        return self.ri(AluOp.ADD, REG_ZERO, value, rc)
+
+    def load_addr(self, rc: int, symbol: str) -> "BlockBuilder":
+        """Materialise a data symbol's address: ldah + lda with relocs."""
+        self.data_refs[len(self.instrs)] = symbol
+        self.emit(Instruction(Op.LDAH, ra=rc, rb=REG_ZERO, imm=0))
+        self.data_refs[len(self.instrs)] = symbol
+        self.emit(Instruction(Op.LDA, ra=rc, rb=rc, imm=0))
+        return self
+
+    def ldg(self, rc: int, symbol: str, offset: int = 0) -> "BlockBuilder":
+        """Load the global word ``symbol[offset]`` into *rc*."""
+        self.load_addr(rc, symbol)
+        return self.emit(Instruction(Op.LDW, ra=rc, rb=rc, imm=offset))
+
+    def stg(
+        self, value_reg: int, symbol: str, offset: int, temp: int
+    ) -> "BlockBuilder":
+        """Store *value_reg* to ``symbol[offset]`` using *temp*."""
+        self.load_addr(temp, symbol)
+        return self.emit(
+            Instruction(Op.STW, ra=value_reg, rb=temp, imm=offset)
+        )
+
+    def push_frame(self, nwords: int) -> "BlockBuilder":
+        return self.ri(AluOp.SUB, SP, nwords, SP)
+
+    def pop_frame(self, nwords: int) -> "BlockBuilder":
+        return self.ri(AluOp.ADD, SP, nwords, SP)
+
+    def store_stack(self, reg: int, offset: int) -> "BlockBuilder":
+        return self.emit(Instruction(Op.STW, ra=reg, rb=SP, imm=offset))
+
+    def load_stack(self, reg: int, offset: int) -> "BlockBuilder":
+        return self.emit(Instruction(Op.LDW, ra=reg, rb=SP, imm=offset))
+
+    def call(self, target: str, link: int = RA) -> "BlockBuilder":
+        self.call_targets[len(self.instrs)] = target
+        return self.emit(Instruction(Op.BSR, ra=link, imm=0))
+
+    def call_indirect(self, target_reg: int, link: int = RA) -> "BlockBuilder":
+        return self.emit(Instruction(Op.JSR, ra=link, rb=target_reg))
+
+    def ret(self, link: int = RA) -> "BlockBuilder":
+        return self.emit(Instruction(Op.RET, ra=REG_ZERO, rb=link))
+
+    def syscall(self, op: SysOp) -> "BlockBuilder":
+        return self.emit(Instruction(Op.SPC, imm=int(op)))
+
+    def nop(self) -> "BlockBuilder":
+        return self.emit(Instruction(Op.SPC, imm=int(SysOp.NOP)))
+
+    # -- terminators ---------------------------------------------------------
+
+    def branch(
+        self, op: Op, reg: int, target: str, fallthrough: str
+    ) -> "BlockBuilder":
+        """Conditional branch terminator."""
+        self.emit(Instruction(op, ra=reg, imm=0))
+        self.branch_target = target
+        self.fallthrough = fallthrough
+        return self
+
+    def jump(self, target: str) -> "BlockBuilder":
+        """Unconditional branch terminator."""
+        self.emit(Instruction(Op.BR, ra=REG_ZERO, imm=0))
+        self.branch_target = target
+        return self
+
+    def fall(self, target: str) -> "BlockBuilder":
+        """Plain fallthrough to *target*."""
+        self.fallthrough = target
+        return self
+
+    def table_jump(
+        self, selector: int, temp: int, table_symbol: str,
+        extent_known: bool = True,
+    ) -> "BlockBuilder":
+        """The canonical jump-table dispatch idiom (see unswitch.py)."""
+        self.load_addr(temp, table_symbol)
+        self.rr(AluOp.ADD, temp, selector, temp)
+        self.emit(Instruction(Op.LDW, ra=temp, rb=temp, imm=0))
+        self.emit(Instruction(Op.JMP, ra=REG_ZERO, rb=temp))
+        self.jump_table = JumpTableInfo(table_symbol, extent_known)
+        return self
+
+    def build(self) -> BasicBlock:
+        return BasicBlock(
+            label=self.label,
+            instrs=self.instrs,
+            fallthrough=self.fallthrough,
+            branch_target=self.branch_target,
+            call_targets=self.call_targets,
+            data_refs=self.data_refs,
+            jump_table=self.jump_table,
+        )
+
+
+class FunctionBuilder:
+    """Builds a function block by block."""
+
+    def __init__(self, program: Program, name: str):
+        self.program = program
+        self.name = name
+        self.function = Function(name)
+        program.add_function(self.function)
+        self._pending: BlockBuilder | None = None
+
+    def label(self, suffix: str) -> str:
+        return f"{self.name}.{suffix}"
+
+    def block(self, suffix: str) -> BlockBuilder:
+        """Start a new block; the previous one is finalised."""
+        self.seal()
+        self._pending = BlockBuilder(self.label(suffix))
+        return self._pending
+
+    def seal(self) -> None:
+        """Finalise the block under construction, if any."""
+        if self._pending is not None:
+            self.function.add_block(self._pending.build())
+            self._pending = None
+
+    @property
+    def size(self) -> int:
+        pending = self._pending.instrs if self._pending else []
+        return self.function.size + len(pending)

@@ -1,0 +1,90 @@
+"""Profiling and timing inputs (the paper's Figure 5 distinction).
+
+An input is a stream of work items.  ``item = kind + n_kinds * payload``
+with a 20-bit payload.  The profiling input exercises the hot kinds
+plus the execution-frequency ladder with *exact* per-kind counts (so
+the θ sweep has deterministic frequency classes to peel off); the
+timing input is larger, boosts the ladder (especially its middle
+rungs -- code just under a θ cutoff is what gets decompressed at run
+time) and touches a few kinds the profile never saw, mirroring how the
+paper's timing inputs exercise profile-cold paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.generator import GeneratedWorkload, PAYLOAD_BITS
+from repro.workloads.spec import WorkloadSpec
+
+_PAYLOAD_MAX = 1 << PAYLOAD_BITS
+
+
+def _item(kind: int, payload: int, n_kinds: int) -> int:
+    return kind + n_kinds * payload
+
+
+def _hot_shares(n_hot: int, rng: random.Random) -> list[float]:
+    raw = [rng.uniform(0.5, 2.0) for _ in range(n_hot)]
+    total = sum(raw)
+    return [value / total for value in raw]
+
+
+def make_input(
+    workload: GeneratedWorkload,
+    mode: str,
+    seed_offset: int = 0,
+) -> list[int]:
+    """Build the ``mode`` ('profile' or 'timing') input stream."""
+    if mode not in ("profile", "timing"):
+        raise ValueError(f"unknown input mode {mode!r}")
+    spec = workload.spec
+    plan = workload.plan
+    rng = random.Random((spec.seed << 3) ^ 0xBEEF ^ seed_offset)
+    n_kinds = workload.n_kinds
+
+    total_items = (
+        spec.profile_items if mode == "profile" else spec.timing_items
+    )
+    items: list[int] = []
+
+    # Ladder kinds: exact counts.
+    for position, kind in enumerate(plan.ladder_kinds):
+        count = spec.ladder_counts[position]
+        if mode == "timing":
+            count = max(1, round(count * spec.ladder_boost[position]))
+        for _ in range(count):
+            items.append(
+                _item(kind, rng.randrange(_PAYLOAD_MAX), n_kinds)
+            )
+
+    # Timing-only kinds.
+    if mode == "timing":
+        for kind in plan.timing_only_kinds:
+            for _ in range(spec.timing_only_count):
+                items.append(
+                    _item(kind, rng.randrange(_PAYLOAD_MAX), n_kinds)
+                )
+
+    # Hot kinds fill the rest.
+    shares = _hot_shares(spec.n_hot, random.Random(spec.seed ^ 0x51DE))
+    hot_items = max(0, total_items - len(items))
+    for position, kind in enumerate(plan.hot_kinds):
+        count = int(hot_items * shares[position])
+        for _ in range(count):
+            items.append(
+                _item(kind, rng.randrange(_PAYLOAD_MAX), n_kinds)
+            )
+
+    rng.shuffle(items)
+    return items
+
+
+def profiling_input(workload: GeneratedWorkload) -> list[int]:
+    """The input used to collect the guiding profile."""
+    return make_input(workload, "profile")
+
+
+def timing_input(workload: GeneratedWorkload) -> list[int]:
+    """The (larger, diverging) input used for execution-time runs."""
+    return make_input(workload, "timing", seed_offset=1)

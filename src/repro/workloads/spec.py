@@ -1,0 +1,121 @@
+"""Workload specifications and the item-kind plan."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic benchmark program.
+
+    ``target_input_size`` / ``target_squeeze_size`` are the Table 1
+    instruction counts the generated program is calibrated to (before
+    and after `squeeze`).  Dynamic behaviour is controlled by the item
+    counts and the ladder/boost parameters; see
+    :mod:`repro.workloads.inputs`.
+    """
+
+    name: str
+    seed: int
+    target_input_size: int
+    target_squeeze_size: int
+
+    # -- static structure ------------------------------------------------
+    n_hot: int = 3
+    #: Rarely-executed kinds forming the execution-frequency ladder.
+    n_ladder: int = 10
+    #: Kinds absent from the profiling input but present in timing.
+    n_timing_only: int = 2
+    #: Never-executed feature handlers (plus filler handlers as needed).
+    n_never: int = 6
+    #: Fraction of utility functions that are leaves (raises the
+    #: buffer-safe fraction; gsm/g721_enc use a higher value).
+    leaf_utility_bias: float = 0.5
+    n_utilities: int = 8
+    use_jump_table: bool = True
+    cold_jump_table: bool = True
+    unknown_table: bool = False
+    use_recursion: bool = True
+    use_setjmp: bool = True
+    use_fptr: bool = True
+
+    # -- dynamic behaviour --------------------------------------------------
+    profile_items: int = 20000
+    timing_items: int = 30000
+    #: Profile appearance counts of the ladder kinds (low to high); the
+    #: counts are distinct so each rung is its own frequency class and θ
+    #: peels them off one at a time.
+    ladder_counts: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 11, 16, 24, 32)
+    #: Static size of each ladder handler, as a fraction of the squeeze
+    #: target: together about 20% of the program is executed-but-rare,
+    #: matching Figure 4's gap between θ=0 cold code (~73%) and θ=1
+    #: (100%) less the hot core.
+    ladder_size_fracs: tuple[float, ...] = (
+        0.028, 0.030, 0.032, 0.020, 0.016,
+        0.015, 0.015, 0.015, 0.015, 0.014,
+    )
+    #: Timing-input visit multiplier per ladder rung.  Low rungs are
+    #: boosted hard: code just under a θ cutoff is exactly what gets
+    #: decompressed repeatedly at run time (the paper's 4%/24% overheads
+    #: at θ=1e-5/5e-5).
+    ladder_boost: tuple[float, ...] = (2.5, 1.6, 1.4, 1.4, 1.3, 1.3, 1.3, 1.2, 1, 1)
+    #: Timing appearances of each timing-only kind.
+    timing_only_count: int = 2
+
+    # -- junk planted for squeeze (fractions of input-squeeze gap) -------
+    junk_nops: float = 0.20
+    junk_dead: float = 0.15
+    junk_dup: float = 0.15
+    # remainder: unreachable functions
+
+    def __post_init__(self) -> None:
+        if self.target_squeeze_size >= self.target_input_size:
+            raise ValueError("squeeze target must be below input target")
+        if len(self.ladder_boost) != len(self.ladder_counts):
+            raise ValueError("ladder_boost must match ladder_counts")
+        if len(self.ladder_size_fracs) != len(self.ladder_counts):
+            raise ValueError("ladder_size_fracs must match ladder_counts")
+        if self.n_ladder > len(self.ladder_counts):
+            raise ValueError("not enough ladder counts for n_ladder")
+
+
+@dataclass(frozen=True)
+class KindPlan:
+    """How item kinds map to handlers."""
+
+    n_hot: int
+    n_ladder: int
+    n_timing_only: int
+    n_never: int
+
+    @property
+    def n_kinds(self) -> int:
+        return self.n_hot + self.n_ladder + self.n_timing_only + self.n_never
+
+    @property
+    def hot_kinds(self) -> range:
+        return range(0, self.n_hot)
+
+    @property
+    def ladder_kinds(self) -> range:
+        return range(self.n_hot, self.n_hot + self.n_ladder)
+
+    @property
+    def timing_only_kinds(self) -> range:
+        start = self.n_hot + self.n_ladder
+        return range(start, start + self.n_timing_only)
+
+    @property
+    def never_kinds(self) -> range:
+        start = self.n_hot + self.n_ladder + self.n_timing_only
+        return range(start, start + self.n_never)
+
+    @classmethod
+    def from_spec(cls, spec: WorkloadSpec) -> "KindPlan":
+        return cls(
+            n_hot=spec.n_hot,
+            n_ladder=spec.n_ladder,
+            n_timing_only=spec.n_timing_only,
+            n_never=spec.n_never,
+        )

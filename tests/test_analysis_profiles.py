@@ -1,0 +1,89 @@
+"""Profile-analysis utilities."""
+
+import pytest
+
+from repro.analysis.profiles import (
+    eighty_twenty,
+    frequency_classes,
+    profile_report,
+)
+from repro.core.coldcode import identify_cold_blocks
+from repro.vm.profiler import Profile
+
+
+def make_profile() -> Profile:
+    counts = {"dead": 0, "rare": 1, "warm": 40, "hot": 5000}
+    sizes = {"dead": 30, "rare": 10, "warm": 10, "hot": 10}
+    tot = sum(counts[l] * sizes[l] for l in counts)
+    return Profile(counts=counts, sizes=sizes, tot_instr_ct=tot)
+
+
+def test_classes_sorted_coldest_first():
+    classes = frequency_classes(make_profile())
+    assert [c.freq for c in classes] == [0, 1, 40, 5000]
+
+
+def test_class_weights():
+    classes = frequency_classes(make_profile())
+    assert classes[0].weight == 0
+    assert classes[1].weight == 10
+    assert classes[2].weight == 400
+
+
+def test_theta_needed_matches_coldcode():
+    """θ_needed of a class is exactly the threshold at which Section
+    5's algorithm admits it."""
+    profile = make_profile()
+    for cls in frequency_classes(profile):
+        if cls.theta_needed > 1.0:
+            continue
+        admitted = identify_cold_blocks(profile, cls.theta_needed)
+        assert admitted.cutoff >= cls.freq
+        if cls.theta_needed > 0:
+            below = identify_cold_blocks(
+                profile, cls.theta_needed * 0.999
+            )
+            assert below.cutoff < cls.freq
+
+
+def test_cumulative_static_reaches_one():
+    classes = frequency_classes(make_profile())
+    assert classes[-1].cumulative_static_fraction == pytest.approx(1.0)
+
+
+def test_eighty_twenty_shape(mini_profile):
+    static80, dynamic20 = eighty_twenty(mini_profile)
+    assert 0 < static80 < 0.6  # hot code is a small static fraction
+    assert dynamic20 > 0.8     # a small static slice covers most work
+
+
+def test_report_renders(mini_profile):
+    text = profile_report(mini_profile)
+    assert "dynamic" in text
+    assert "θ to compress" in text
+
+
+def test_report_truncates():
+    counts = {f"b{i}": i for i in range(40)}
+    sizes = {label: 2 for label in counts}
+    tot = sum(counts[l] * 2 for l in counts)
+    profile = Profile(counts=counts, sizes=sizes, tot_instr_ct=tot)
+    text = profile_report(profile, max_rows=5)
+    assert "..." in text
+
+
+def test_workload_profile_is_eighty_twenty(small_workload, small_inputs):
+    """The generated workloads obey the 80-20 rule the paper's whole
+    premise rests on."""
+    from repro.program.layout import layout
+    from repro.squeeze import squeeze
+    from repro.vm.profiler import collect_profile
+
+    profile_in, _ = small_inputs
+    squeezed, _ = squeeze(small_workload.program)
+    profile = collect_profile(
+        squeezed, layout(squeezed).image, profile_in
+    )
+    static80, dynamic20 = eighty_twenty(profile)
+    assert static80 < 0.2   # ≥80% of time in <20% of code
+    assert dynamic20 > 0.9

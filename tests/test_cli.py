@@ -1,0 +1,52 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_table1(capsys):
+    out = run_cli(capsys, "table1", "--names", "adpcm", "--scale", "0.2")
+    assert "Table 1" in out
+    assert "adpcm" in out
+
+
+def test_fig4(capsys):
+    out = run_cli(capsys, "fig4", "--names", "adpcm", "--scale", "0.2")
+    assert "cold" in out
+    assert "compressible" in out
+
+
+def test_fig6(capsys):
+    out = run_cli(capsys, "fig6", "--names", "adpcm", "--scale", "0.2")
+    assert "reduction" in out
+
+
+def test_squash_with_run(capsys):
+    out = run_cli(
+        capsys, "squash", "--names", "adpcm", "--scale", "0.2",
+        "--theta", "0.01", "--run",
+    )
+    assert "regions" in out
+    assert "outputs match" in out
+
+
+def test_ratio(capsys):
+    out = run_cli(capsys, "ratio", "--names", "adpcm", "--scale", "0.2")
+    assert "stream only" in out
+
+
+def test_safe(capsys):
+    out = run_cli(capsys, "safe", "--names", "adpcm", "--scale", "0.2")
+    assert "safe functions" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,192 @@
+"""Huffman length construction and the canonical code of Section 3."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compress.bitstream import BitReader, BitWriter
+from repro.compress.canonical import CanonicalCode
+from repro.compress.huffman import count_frequencies, huffman_code_lengths
+
+
+class TestHuffmanLengths:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_code_lengths({})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_code_lengths({"a": 0})
+
+    def test_single_symbol_gets_one_bit(self):
+        assert huffman_code_lengths({"a": 10}) == {"a": 1}
+
+    def test_two_symbols(self):
+        lengths = huffman_code_lengths({"a": 10, "b": 1})
+        assert lengths == {"a": 1, "b": 1}
+
+    def test_skewed_distribution(self):
+        lengths = huffman_code_lengths({"a": 100, "b": 10, "c": 1})
+        assert lengths["a"] == 1
+        assert lengths["b"] == 2
+        assert lengths["c"] == 2
+
+    def test_deterministic(self):
+        freqs = {i: (i % 7) + 1 for i in range(20)}
+        assert huffman_code_lengths(freqs) == huffman_code_lengths(dict(freqs))
+
+    def test_integer_symbols_do_not_collide_with_node_ids(self):
+        # symbols 0..n-1 share values with internal node counters
+        freqs = {i: i + 1 for i in range(10)}
+        lengths = huffman_code_lengths(freqs)
+        assert set(lengths) == set(freqs)
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 100), st.integers(1, 1000), min_size=1, max_size=24
+        )
+    )
+    def test_kraft_equality(self, freqs):
+        lengths = huffman_code_lengths(freqs)
+        if len(freqs) == 1:
+            assert list(lengths.values()) == [1]
+            return
+        kraft = sum(2.0 ** -l for l in lengths.values())
+        assert math.isclose(kraft, 1.0)
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 60), st.integers(1, 200), min_size=2, max_size=30
+        )
+    )
+    def test_cost_matches_reference(self, freqs):
+        """Total cost equals an independent minimal Huffman merger's.
+
+        All Huffman codes (whatever the tie-breaking) achieve the same
+        optimal weighted length, so the costs must agree exactly.
+        """
+        lengths = huffman_code_lengths(freqs)
+        cost = sum(freqs[s] * lengths[s] for s in freqs)
+        assert cost == _reference_huffman_cost(list(freqs.values()))
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 60), st.integers(1, 200), min_size=2, max_size=30
+        )
+    )
+    def test_cost_within_entropy_bounds(self, freqs):
+        """H <= average length < H + 1 (Huffman's classic bound)."""
+        lengths = huffman_code_lengths(freqs)
+        total = sum(freqs.values())
+        avg = sum(freqs[s] * lengths[s] for s in freqs) / total
+        entropy = -sum(
+            (f / total) * math.log2(f / total) for f in freqs.values()
+        )
+        assert entropy - 1e-9 <= avg < entropy + 1.0
+
+    def test_count_frequencies(self):
+        assert count_frequencies("aabac") == {"a": 3, "b": 1, "c": 1}
+
+
+def _reference_huffman_cost(weights: list[int]) -> int:
+    """Sum of internal-node weights == total weighted codeword length."""
+    import heapq
+
+    heap = list(weights)
+    heapq.heapify(heap)
+    cost = 0
+    while len(heap) > 1:
+        a = heapq.heappop(heap)
+        b = heapq.heappop(heap)
+        cost += a + b
+        heapq.heappush(heap, a + b)
+    return cost
+
+
+class TestCanonical:
+    def test_paper_example(self):
+        """N[2]=3, N[3]=1, N[5]=4 gives b = 0,0,6,14,28 and the
+        codewords 00,01,10,110,11100,11101,11110,11111 (Section 3)."""
+        code = CanonicalCode(counts=(0, 0, 3, 1, 0, 4), values=tuple(range(8)))
+        assert code.first_codewords() == [0, 0, 6, 14, 28]
+        words = code.codewords()
+        rendered = [
+            format(word, f"0{length}b") for word, length in words.values()
+        ]
+        assert rendered == [
+            "00", "01", "10", "110", "11100", "11101", "11110", "11111",
+        ]
+
+    def test_codeword_lengths_match_huffman(self):
+        freqs = {0: 50, 1: 20, 2: 20, 3: 5, 4: 5}
+        lengths = huffman_code_lengths(freqs)
+        code = CanonicalCode.from_frequencies(freqs)
+        for symbol, (_, length) in code.codewords().items():
+            assert length == lengths[symbol]
+
+    def test_prefix_free(self):
+        code = CanonicalCode.from_frequencies({i: i + 1 for i in range(9)})
+        words = [
+            format(word, f"0{length}b")
+            for word, length in code.codewords().values()
+        ]
+        for a, b in itertools.permutations(words, 2):
+            assert not b.startswith(a)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            CanonicalCode(counts=(0, 2), values=(1,))  # totals mismatch
+        with pytest.raises(ValueError):
+            CanonicalCode(counts=(0, 1, 1), values=(1, 2))  # Kraft violation
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 255), st.integers(1, 500), min_size=1, max_size=40
+        )
+    )
+    def test_encode_decode_identity(self, freqs):
+        code = CanonicalCode.from_frequencies(freqs)
+        symbols = list(freqs) * 2
+        writer = BitWriter()
+        encoder = code.encoder()
+        for symbol in symbols:
+            word, length = encoder[symbol]
+            writer.write_bits(word, length)
+        reader = BitReader(writer.to_words())
+        assert [code.decode(reader) for _ in symbols] == symbols
+
+    def test_decode_detects_corruption(self):
+        # single-symbol code: the only codeword is 0; an all-ones stream
+        # is not decodable
+        code = CanonicalCode.from_frequencies({7: 3})
+        reader = BitReader([0xFFFFFFFF])
+        with pytest.raises(ValueError):
+            code.decode(reader)
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 63), st.integers(1, 99), min_size=1, max_size=20
+        )
+    )
+    def test_serialise_roundtrip(self, freqs):
+        code = CanonicalCode.from_frequencies(freqs)
+        writer = BitWriter()
+        code.serialise(writer, value_bits=6)
+        assert writer.bit_length == code.serialised_bits(6)
+        reader = BitReader(writer.to_words())
+        again = CanonicalCode.deserialise(reader, value_bits=6)
+        assert again == code
+
+    def test_first_codeword_recurrence(self):
+        """b_1 = 0 and b_i = 2(b_{i-1} + N[i-1]) for i >= 2."""
+        code = CanonicalCode.from_frequencies(
+            {i: 2 ** max(0, 8 - i) for i in range(10)}
+        )
+        firsts = code.first_codewords()
+        b = 0
+        for i in range(1, code.max_length + 1):
+            if i > 1:
+                b = 2 * (b + code.counts[i - 1])
+            assert firsts[i - 1] == b

@@ -1,0 +1,97 @@
+"""Decoder robustness: corrupt streams must fail loudly, never hang
+or silently return wrong instructions that then execute as garbage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.bitstream import BitReader
+from repro.compress.codec import CodecConfig, ProgramCodec
+from repro.compress.streams import instruction_to_codec
+from repro.isa import assemble
+
+SAMPLE = assemble(
+    "addi r31, 0, r9\nadd r9, r0, r9\nldw r1, 4(r2)\nstw r1, 8(r2)\n"
+    "beq r1, 5\nbsr r26, -3\nret\nsys write\nnop"
+)
+
+
+@pytest.fixture(scope="module")
+def built():
+    items = [instruction_to_codec(i) for i in SAMPLE] * 3
+    codec, blob = ProgramCodec.build([items])
+    return codec, blob, items
+
+
+def test_wrong_bit_offset_raises_or_misdecodes_boundedly(built):
+    """Decoding from a wrong offset must terminate: either an error or
+    a (wrong) item list -- never an unbounded loop past the stream."""
+    codec, blob, _ = built
+    for offset in (1, 3, 7, 13):
+        try:
+            items, bits = codec.decode_region(blob.stream_words, offset)
+        except (ValueError, EOFError):
+            continue
+        assert bits <= blob.stream_bits + 64
+
+
+def test_truncated_stream_raises(built):
+    codec, blob, _ = built
+    truncated = blob.stream_words[: max(1, len(blob.stream_words) // 4)]
+    with pytest.raises((EOFError, ValueError, IndexError)):
+        codec.decode_region(truncated, blob.region_bit_offsets[0])
+
+
+def test_truncated_tables_raise(built):
+    _, blob, _ = built
+    with pytest.raises((EOFError, ValueError)):
+        ProgramCodec.from_table_words(blob.table_words[:1])
+
+
+@given(flip=st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_single_bitflip_never_hangs(built, flip):
+    """Flip one bit anywhere in the stream; decoding must terminate
+    (decoders over complete prefix codes can misdecode, but the
+    sentinel/length bounds keep them finite)."""
+    codec, blob, _ = built
+    position = flip % blob.stream_bits
+    words = list(blob.stream_words)
+    word_index, bit_index = divmod(position, 32)
+    words[word_index] ^= 1 << (31 - bit_index)
+    try:
+        items, bits = codec.decode_region(
+            words, blob.region_bit_offsets[0]
+        )
+        assert bits <= blob.stream_bits + 64
+    except (ValueError, EOFError, IndexError):
+        pass  # loud failure is fine
+
+
+def test_bitflip_in_tables_is_loud_or_consistent(built):
+    codec, blob, items = built
+    for word_index in range(len(blob.table_words)):
+        words = list(blob.table_words)
+        words[word_index] ^= 1 << 7
+        try:
+            reparsed = ProgramCodec.from_table_words(words)
+            reparsed.decode_region(
+                blob.stream_words, blob.region_bit_offsets[0]
+            )
+        except (ValueError, EOFError, IndexError):
+            continue
+
+
+def test_sentinel_only_region_roundtrips():
+    codec, blob = ProgramCodec.build([[]])
+    reparsed = ProgramCodec.from_table_words(blob.table_words)
+    items, bits = reparsed.decode_region(blob.stream_words, 0)
+    assert items == []
+    assert bits >= 1
+
+
+def test_dict_coder_robust_to_truncation():
+    items = [instruction_to_codec(i) for i in SAMPLE] * 3
+    codec, blob = ProgramCodec.build([items], CodecConfig(coder="dict"))
+    truncated = blob.stream_words[:1]
+    with pytest.raises((EOFError, ValueError, IndexError)):
+        codec.decode_region(truncated, 0)

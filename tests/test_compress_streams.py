@@ -1,0 +1,192 @@
+"""Stream splitting, MTF, and the program codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress import (
+    CodecConfig,
+    CodecInstr,
+    MoveToFront,
+    OP_SENTINEL,
+    OP_XCALLD,
+    OP_XCALLI,
+    ProgramCodec,
+    codec_fields,
+    codec_to_instruction,
+    instruction_to_codec,
+    mtf_decode,
+    mtf_encode,
+)
+from repro.compress.streams import sentinel_item, split_streams
+from repro.isa import AluOp, Instruction, Op, assemble
+from repro.isa.fields import FieldKind
+
+SAMPLE = assemble(
+    """
+    addi r31, 0, r9
+    add r9, r0, r9
+    ldw r1, 4(r2)
+    stw r1, 8(r2)
+    lda r3, 100(r31)
+    ldah r3, 1(r3)
+    beq r1, 5
+    bsr r26, -3
+    jsr r26, (r4)
+    jmp (r4)
+    ret
+    sys write
+    nop
+    """
+)
+
+
+class TestStreams:
+    def test_codec_roundtrip_each_format(self):
+        for instr in SAMPLE:
+            item = instruction_to_codec(instr)
+            assert codec_to_instruction(item) == instr
+
+    def test_pseudo_ops_have_layouts(self):
+        assert codec_fields(OP_XCALLD) == (FieldKind.RA, FieldKind.BDISP)
+        assert codec_fields(OP_XCALLI) == (FieldKind.RA, FieldKind.RB)
+        assert codec_fields(OP_SENTINEL) == ()
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            codec_fields(0x3E)
+
+    def test_pseudo_to_instruction_rejected(self):
+        with pytest.raises(ValueError):
+            codec_to_instruction(CodecInstr(OP_XCALLD, (26, 0)))
+
+    def test_codec_instr_arity_checked(self):
+        with pytest.raises(ValueError):
+            CodecInstr(int(Op.LDW), (1,))
+
+    def test_split_streams_shapes(self):
+        items = [instruction_to_codec(i) for i in SAMPLE]
+        streams = split_streams(items)
+        assert len(streams[FieldKind.OPCODE]) == len(SAMPLE)
+        # two OPI instructions? one addi -> OPI; one OPR add
+        assert FieldKind.LIT8 in streams
+        assert FieldKind.MDISP in streams
+        assert len(streams[FieldKind.MDISP]) == 2  # ldw + stw
+        assert len(streams[FieldKind.BDISP]) == 2  # beq + bsr
+
+    def test_sbz_not_a_stream(self):
+        items = [instruction_to_codec(i) for i in SAMPLE]
+        streams = split_streams(items)
+        assert FieldKind.SBZ not in streams
+
+
+class TestMtf:
+    def test_simple_sequence(self):
+        assert mtf_encode([5, 5, 7, 5], [5, 6, 7]) == [0, 0, 2, 1]
+
+    def test_decode_inverse(self):
+        alphabet = [3, 1, 4, 1_0, 9]
+        values = [9, 9, 3, 4, 10, 3]
+        assert mtf_decode(mtf_encode(values, alphabet), alphabet) == values
+
+    def test_duplicate_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            MoveToFront([1, 1])
+
+    def test_reset(self):
+        mtf = MoveToFront([1, 2, 3])
+        mtf.encode_one(3)
+        mtf.reset()
+        assert mtf.encode_one(1) == 0
+
+    @given(
+        st.lists(st.integers(0, 15), min_size=1, max_size=50),
+    )
+    def test_roundtrip_property(self, values):
+        alphabet = sorted(set(values) | {99})
+        assert mtf_decode(mtf_encode(values, alphabet), alphabet) == values
+
+
+def _items_strategy():
+    instr = st.sampled_from(SAMPLE)
+    xcalld = st.builds(
+        lambda ra, disp: CodecInstr(OP_XCALLD, (ra, disp & ((1 << 21) - 1))),
+        st.integers(0, 31),
+        st.integers(0, (1 << 21) - 1),
+    )
+    xcalli = st.builds(
+        lambda ra, rb: CodecInstr(OP_XCALLI, (ra, rb)),
+        st.integers(0, 31),
+        st.integers(0, 31),
+    )
+    item = st.one_of(instr.map(instruction_to_codec), xcalld, xcalli)
+    region = st.lists(item, min_size=1, max_size=20)
+    return st.lists(region, min_size=1, max_size=6)
+
+
+class TestProgramCodec:
+    @given(_items_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_multi_region_roundtrip(self, regions):
+        codec, blob = ProgramCodec.build(regions)
+        reparsed = ProgramCodec.from_table_words(blob.table_words)
+        assert reparsed.codes == codec.codes
+        for index, region in enumerate(regions):
+            decoded, bits = reparsed.decode_region(
+                blob.stream_words, blob.region_bit_offsets[index]
+            )
+            assert decoded == list(region)
+            assert bits > 0
+
+    @given(_items_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_mtf_variant_roundtrip(self, regions):
+        config = CodecConfig(
+            mtf_kinds=frozenset({FieldKind.RA, FieldKind.RB, FieldKind.LIT8})
+        )
+        _, blob = ProgramCodec.build(regions, config)
+        reparsed = ProgramCodec.from_table_words(blob.table_words)
+        for index, region in enumerate(regions):
+            decoded, _ = reparsed.decode_region(
+                blob.stream_words, blob.region_bit_offsets[index]
+            )
+            assert decoded == list(region)
+
+    def test_regions_decode_independently_out_of_order(self):
+        regions = [
+            [instruction_to_codec(i) for i in SAMPLE],
+            [instruction_to_codec(i) for i in SAMPLE[:4]],
+            [instruction_to_codec(i) for i in SAMPLE[4:]],
+        ]
+        _, blob = ProgramCodec.build(regions)
+        codec = ProgramCodec.from_table_words(blob.table_words)
+        for index in (2, 0, 1):
+            decoded, _ = codec.decode_region(
+                blob.stream_words, blob.region_bit_offsets[index]
+            )
+            assert decoded == regions[index]
+
+    def test_offsets_monotone_and_start_at_zero(self):
+        regions = [[sentinel_item()] or []]
+        regions = [
+            [instruction_to_codec(SAMPLE[0])],
+            [instruction_to_codec(SAMPLE[1])],
+        ]
+        _, blob = ProgramCodec.build(regions)
+        offsets = blob.region_bit_offsets
+        assert offsets[0] == 0
+        assert offsets == sorted(offsets)
+        assert blob.stream_bits > offsets[-1]
+
+    def test_compression_beats_raw_on_repetitive_code(self):
+        region = [instruction_to_codec(SAMPLE[0])] * 200
+        _, blob = ProgramCodec.build([region])
+        assert blob.total_words < 200  # far below one word per instr
+
+    def test_blob_sizes_consistent(self):
+        regions = [[instruction_to_codec(i) for i in SAMPLE]]
+        _, blob = ProgramCodec.build(regions)
+        assert len(blob.stream_words) == (blob.stream_bits + 31) // 32
+        assert len(blob.table_words) == (blob.table_bits + 31) // 32
+        assert blob.total_words == len(blob.table_words) + len(
+            blob.stream_words
+        )

@@ -1,0 +1,109 @@
+"""Buffer-safe function analysis (Section 6.1)."""
+
+from repro.core.buffersafe import buffer_safe_functions
+from repro.isa import assemble
+from repro.program import BasicBlock, Function, Program
+
+
+def build(calls: dict[str, list[str]], indirect: set[str] = frozenset(),
+          address_taken: set[str] = frozenset()) -> Program:
+    """Build a program from a call-graph description."""
+    program = Program("p")
+    for name, callees in calls.items():
+        fn = Function(name)
+        instrs = []
+        call_targets = {}
+        for callee in callees:
+            call_targets[len(instrs)] = callee
+            instrs.extend(assemble("bsr r26, 0"))
+        if name in indirect:
+            instrs.extend(assemble("jsr r26, (r4)"))
+        instrs.extend(assemble("ret"))
+        fn.add_block(
+            BasicBlock(f"{name}.a", instrs=instrs, call_targets=call_targets)
+        )
+        program.add_function(fn)
+    program.address_taken = set(address_taken)
+    program.validate()
+    return program
+
+
+def test_leaf_with_no_compressed_blocks_is_safe():
+    program = build({"main": ["leaf"], "leaf": []})
+    safe = buffer_safe_functions(program, compressed_blocks=set())
+    assert "leaf" in safe
+
+
+def test_compressed_function_unsafe():
+    program = build({"main": ["f"], "f": []})
+    safe = buffer_safe_functions(program, compressed_blocks={"f.a"})
+    assert "f" not in safe
+
+
+def test_unsafety_propagates_to_callers():
+    program = build({"a": ["b"], "b": ["c"], "c": []})
+    safe = buffer_safe_functions(program, compressed_blocks={"c.a"})
+    assert "c" not in safe
+    assert "b" not in safe
+    assert "a" not in safe
+
+
+def test_safe_chain_stays_safe():
+    program = build({"a": ["b"], "b": ["c"], "c": []})
+    safe = buffer_safe_functions(program, compressed_blocks=set())
+    assert safe == {"a", "b", "c"}
+
+
+def test_indirect_call_to_unsafe_target():
+    program = build(
+        {"caller": [], "t1": [], "t2": []},
+        indirect={"caller"},
+        address_taken={"t1", "t2"},
+    )
+    safe = buffer_safe_functions(program, compressed_blocks={"t2.a"})
+    assert "caller" not in safe  # t2 might be the target
+    assert "t1" in safe
+
+
+def test_indirect_call_all_targets_safe():
+    program = build(
+        {"caller": [], "t1": []},
+        indirect={"caller"},
+        address_taken={"t1"},
+    )
+    safe = buffer_safe_functions(program, compressed_blocks=set())
+    assert "caller" in safe
+
+
+def test_indirect_call_with_no_known_targets_unsafe():
+    program = build({"caller": []}, indirect={"caller"})
+    safe = buffer_safe_functions(program, compressed_blocks=set())
+    assert "caller" not in safe
+
+
+def test_partially_compressed_function_unsafe():
+    program = Program("p")
+    fn = Function("f")
+    fn.add_block(
+        BasicBlock("f.a", instrs=assemble("nop"), fallthrough="f.b")
+    )
+    fn.add_block(BasicBlock("f.b", instrs=assemble("ret")))
+    program.add_function(fn)
+    safe = buffer_safe_functions(program, compressed_blocks={"f.b"})
+    assert "f" not in safe
+
+
+def test_recursion_handled():
+    program = build({"a": ["a"]})
+    assert buffer_safe_functions(program, set()) == {"a"}
+    assert buffer_safe_functions(program, {"a.a"}) == set()
+
+
+def test_mediabench_stats_well_formed():
+    """The E9 metrics are meaningful fractions with some safe calls."""
+    from repro.analysis.experiments import buffer_safe_stats
+
+    rows = buffer_safe_stats(("gsm", "jpeg_dec"), scale=0.2)
+    for row in rows:
+        assert 0.0 < row.safe_function_fraction < 1.0
+        assert 0.0 < row.safe_call_fraction < 1.0

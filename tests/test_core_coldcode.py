@@ -1,0 +1,107 @@
+"""Cold-code identification (Section 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.coldcode import cold_code_stats, identify_cold_blocks
+from repro.vm.profiler import Profile
+
+
+def make_profile(spec: dict[str, tuple[int, int]]) -> Profile:
+    """spec: label -> (size, freq)."""
+    sizes = {label: size for label, (size, _) in spec.items()}
+    counts = {label: freq for label, (_, freq) in spec.items()}
+    tot = sum(size * freq for size, freq in spec.values())
+    return Profile(counts=counts, sizes=sizes, tot_instr_ct=tot)
+
+
+BASIC = make_profile(
+    {
+        "dead": (10, 0),
+        "rare": (10, 1),
+        "warm": (10, 50),
+        "hot": (10, 1000),
+    }
+)
+
+
+def test_theta_zero_marks_only_never_executed():
+    result = identify_cold_blocks(BASIC, 0.0)
+    assert result.cold == {"dead"}
+    assert result.cutoff == 0
+    assert result.cold_weight == 0
+
+
+def test_theta_one_marks_everything():
+    result = identify_cold_blocks(BASIC, 1.0)
+    assert result.cold == set(BASIC.counts)
+
+
+def test_threshold_admits_whole_frequency_classes():
+    # budget must cover the entire freq-1 class or none of it
+    tot = BASIC.tot_instr_ct
+    just_below = 9 / tot
+    just_above = 11 / tot
+    assert identify_cold_blocks(BASIC, just_below).cold == {"dead"}
+    assert identify_cold_blocks(BASIC, just_above).cold == {"dead", "rare"}
+
+
+def test_weight_is_size_times_freq():
+    profile = make_profile({"a": (3, 2), "b": (100, 2), "hot": (1, 10000)})
+    # budget 6: admits the freq-2 class only if 6 + 200 <= budget
+    result = identify_cold_blocks(profile, 6 / profile.tot_instr_ct)
+    assert result.cold == set()  # class weight 206 exceeds 6
+    result = identify_cold_blocks(profile, 206 / profile.tot_instr_ct)
+    assert result.cold == {"a", "b"}
+
+
+def test_invalid_theta_rejected():
+    with pytest.raises(ValueError):
+        identify_cold_blocks(BASIC, -0.1)
+    with pytest.raises(ValueError):
+        identify_cold_blocks(BASIC, 1.5)
+
+
+def test_budget_reported():
+    result = identify_cold_blocks(BASIC, 0.5)
+    assert result.budget == pytest.approx(0.5 * BASIC.tot_instr_ct)
+
+
+@given(st.floats(0, 1), st.floats(0, 1))
+def test_monotone_in_theta(t1, t2):
+    lo, hi = sorted((t1, t2))
+    cold_lo = identify_cold_blocks(BASIC, lo).cold
+    cold_hi = identify_cold_blocks(BASIC, hi).cold
+    assert cold_lo <= cold_hi
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=4),
+        st.tuples(st.integers(1, 50), st.integers(0, 1000)),
+        min_size=1,
+        max_size=30,
+    ),
+    st.floats(0, 1),
+)
+def test_cold_weight_within_budget(spec, theta):
+    profile = make_profile(spec)
+    result = identify_cold_blocks(profile, theta)
+    weight = sum(
+        profile.sizes[l] * profile.counts[l] for l in result.cold
+    )
+    assert weight <= result.budget + 1e-9
+    assert weight == result.cold_weight
+
+
+def test_stats_fractions():
+    stats = cold_code_stats(BASIC, 0.0, compressible={"dead"})
+    assert stats.total_code == 40
+    assert stats.cold_fraction == pytest.approx(0.25)
+    assert stats.compressible_fraction == pytest.approx(0.25)
+
+
+def test_stats_compressible_subset():
+    stats = cold_code_stats(BASIC, 1.0, compressible={"dead", "rare"})
+    assert stats.cold_fraction == 1.0
+    assert stats.compressible_fraction == pytest.approx(0.5)

@@ -1,0 +1,233 @@
+"""Region formation and packing (Section 4)."""
+
+from repro.core.costmodel import CostModel
+from repro.core.regions import (
+    RegionContext,
+    entry_blocks,
+    form_regions,
+    pack_regions,
+)
+from repro.isa import assemble
+from repro.program import BasicBlock, Function, Program
+
+
+def chain_program(n_blocks: int = 10, block_size: int = 6) -> Program:
+    """main calls f; f is a straight chain of blocks."""
+    program = Program("p")
+    main = Function("main")
+    block = BasicBlock("m.a", instrs=assemble("bsr r26, 0\nhalt"))
+    block.call_targets[0] = "f"
+    main.add_block(block)
+    program.add_function(main)
+
+    body = "\n".join("addi r1, 1, r1" for _ in range(block_size - 1))
+    f = Function("f")
+    for index in range(n_blocks):
+        label = f"f.b{index}"
+        is_last = index == n_blocks - 1
+        f.add_block(
+            BasicBlock(
+                label,
+                instrs=assemble(body + ("\nret" if is_last else "\nnop")),
+                fallthrough=None if is_last else f"f.b{index + 1}",
+            )
+        )
+    program.add_function(f)
+    program.validate()
+    return program
+
+
+def all_f_blocks(program):
+    return {label for label in program.functions["f"].blocks}
+
+
+class TestFormation:
+    def test_regions_partition_compressible(self):
+        program = chain_program()
+        compressible = all_f_blocks(program)
+        regions = form_regions(program, compressible, CostModel())
+        seen = set()
+        for region in regions:
+            for label in region.blocks:
+                assert label not in seen, "regions must be disjoint"
+                seen.add(label)
+        assert seen <= compressible
+
+    def test_buffer_bound_respected(self):
+        program = chain_program(n_blocks=40)
+        compressible = all_f_blocks(program)
+        cost = CostModel(buffer_bound_bytes=64)  # 16 instructions
+        ctx = RegionContext.build(program)
+        regions = form_regions(program, compressible, cost, ctx)
+        assert len(regions) >= 2
+        for region in regions:
+            blocks = set(region.blocks)
+            expanded = (
+                sum(ctx.sizes[b] for b in blocks)
+                + sum(ctx.calls_in[b] for b in blocks)
+                + 1
+            )
+            assert expanded <= cost.buffer_bound_instrs
+
+    def test_single_function_pre_packing(self):
+        program = chain_program()
+        block = BasicBlock("g.a", instrs=assemble("ret"))
+        g = Function("g")
+        g.add_block(block)
+        program.add_function(g)
+        compressible = all_f_blocks(program) | {"g.a"}
+        ctx = RegionContext.build(program)
+        regions = form_regions(program, compressible, CostModel(), ctx)
+        for region in regions:
+            functions = {ctx.block_func[label] for label in region.blocks}
+            assert len(functions) == 1
+
+    def test_unprofitable_tree_rejected(self):
+        # a tiny isolated block: entry stub (2 words) vs (1-γ)*1 savings
+        program = chain_program(n_blocks=1, block_size=2)
+        compressible = all_f_blocks(program)
+        regions = form_regions(program, compressible, CostModel())
+        assert regions == []
+
+    def test_empty_compressible_set(self):
+        program = chain_program()
+        assert form_regions(program, set(), CostModel()) == []
+
+
+class TestEntryBlocks:
+    def test_called_entry_needs_stub(self):
+        program = chain_program()
+        ctx = RegionContext.build(program)
+        blocks = all_f_blocks(program)
+        entries = entry_blocks(blocks, ctx)
+        assert "f.b0" in entries  # called from main
+        assert "f.b5" not in entries  # interior fallthrough only
+
+    def test_partition_boundary_needs_stub(self):
+        program = chain_program()
+        ctx = RegionContext.build(program)
+        # split the chain: second half entered from the first
+        first = {f"f.b{i}" for i in range(5)}
+        second = {f"f.b{i}" for i in range(5, 10)}
+        assert "f.b5" in entry_blocks(second, ctx)
+        entries_first = entry_blocks(first, ctx)
+        assert entries_first == {"f.b0"}
+
+    def test_program_entry_needs_stub(self, mini_program):
+        ctx = RegionContext.build(mini_program)
+        entries = entry_blocks({"main.entry"}, ctx)
+        assert "main.entry" in entries
+
+
+def packable_program() -> Program:
+    """A bound-filling cold function plus a cold caller with two small
+    private helpers.
+
+    With the buffer bound already reached by ``big``, merging ``a``
+    with its helpers carries no buffer-growth penalty and saves the
+    helpers' entry stubs (their only caller joins the region) plus a
+    restore stub per call -- the Section 4 packing scenario."""
+    program = Program("p")
+    main = Function("main")
+    block = BasicBlock("m.a", instrs=assemble("bsr r26, 0\nbsr r26, 0\nhalt"))
+    block.call_targets = {0: "a", 1: "big"}
+    main.add_block(block)
+    program.add_function(main)
+
+    body = "\n".join("addi r1, 1, r1" for _ in range(119))
+    big = Function("big")
+    big.add_block(BasicBlock("big.a", instrs=assemble(body + "\nret")))
+    program.add_function(big)
+
+    a = Function("a")
+    a_block = BasicBlock(
+        "a.entry",
+        instrs=assemble(
+            "subi r30, 1, r30\nstw r26, 0(r30)\n"
+            "addi r1, 1, r1\naddi r1, 2, r1\naddi r1, 3, r1\n"
+            "bsr r26, 0\nbsr r26, 0\n"
+            "ldw r26, 0(r30)\naddi r30, 1, r30\nret"
+        ),
+        call_targets={5: "h0", 6: "h1"},
+    )
+    a.add_block(a_block)
+    program.add_function(a)
+
+    for name in ("h0", "h1"):
+        helper = Function(name)
+        ops = "\n".join(f"addi r1, {k + 2}, r1" for k in range(9))
+        helper.add_block(
+            BasicBlock(f"{name}.entry", instrs=assemble(ops + "\nret"))
+        )
+        program.add_function(helper)
+    program.validate()
+    return program
+
+
+def packable_compressible(program: Program) -> set[str]:
+    return {
+        block.label
+        for fn_name in ("big", "a", "h0", "h1")
+        for block in program.functions[fn_name].blocks.values()
+    }
+
+
+class TestPacking:
+    def test_packing_merges_adjacent_regions(self):
+        program = packable_program()
+        compressible = packable_compressible(program)
+        cost = CostModel(buffer_bound_bytes=512)  # 128 instructions
+        ctx = RegionContext.build(program)
+        regions = form_regions(program, compressible, cost, ctx)
+        assert len(regions) == 4  # big, a, h0, h1
+        packed = pack_regions(program, regions, cost, ctx)
+        assert len(packed) == 2  # big | a+h0+h1
+
+    def test_packing_respects_bound(self):
+        program = chain_program(n_blocks=40)
+        compressible = all_f_blocks(program)
+        cost = CostModel(buffer_bound_bytes=128)
+        ctx = RegionContext.build(program)
+        regions = form_regions(program, compressible, cost, ctx)
+        packed = pack_regions(program, regions, cost, ctx)
+        for region in packed:
+            blocks = set(region.blocks)
+            expanded = (
+                sum(ctx.sizes[b] for b in blocks)
+                + sum(ctx.calls_in[b] for b in blocks)
+                + 1
+            )
+            assert expanded <= cost.buffer_bound_instrs
+
+    def test_packing_reindexes(self):
+        program = chain_program(n_blocks=40)
+        compressible = all_f_blocks(program)
+        cost = CostModel(buffer_bound_bytes=96)
+        regions = form_regions(program, compressible, cost)
+        packed = pack_regions(program, regions, cost)
+        assert [r.index for r in packed] == list(range(len(packed)))
+
+    def test_packing_reduces_entry_stubs(self):
+        program = packable_program()
+        compressible = packable_compressible(program)
+        ctx = RegionContext.build(program)
+        cost = CostModel(buffer_bound_bytes=512)
+        regions = form_regions(program, compressible, cost, ctx)
+        before = sum(
+            len(entry_blocks(set(r.blocks), ctx)) for r in regions
+        )
+        packed = pack_regions(program, regions, cost, ctx)
+        after = sum(
+            len(entry_blocks(set(r.blocks), ctx)) for r in packed
+        )
+        # h0/h1 lose their stubs once their only caller joins the region
+        assert after == before - 2
+
+    def test_region_contains(self):
+        program = chain_program()
+        regions = form_regions(
+            program, all_f_blocks(program), CostModel()
+        )
+        region = regions[0]
+        assert region.blocks[0] in region
+        assert "nope" not in region

@@ -1,0 +1,164 @@
+"""Assembler and disassembler behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    AluOp,
+    AssemblyError,
+    Instruction,
+    Op,
+    assemble,
+    disassemble,
+    disassemble_one,
+)
+from repro.isa.assembler import REG_ALIASES
+
+
+def one(text):
+    instrs = assemble(text)
+    assert len(instrs) == 1
+    return instrs[0]
+
+
+def test_alu_register_form():
+    instr = one("add r1, r2, r3")
+    assert instr == Instruction(Op.OPR, ra=1, rb=2, rc=3, func=int(AluOp.ADD))
+
+
+def test_alu_immediate_form():
+    instr = one("xori r4, 200, r5")
+    assert instr == Instruction(
+        Op.OPI, ra=4, rc=5, func=int(AluOp.XOR), imm=200
+    )
+
+
+def test_all_alu_mnemonics_assemble():
+    for alu in AluOp:
+        instr = one(f"{alu.name.lower()} r1, r2, r3")
+        assert instr.func == int(alu)
+        instr = one(f"{alu.name.lower()}i r1, 9, r3")
+        assert instr.func == int(alu)
+
+
+def test_memory_forms():
+    assert one("ldw r1, 8(r2)") == Instruction(Op.LDW, ra=1, rb=2, imm=8)
+    assert one("stw r1, -4(r30)") == Instruction(Op.STW, ra=1, rb=30, imm=-4)
+    assert one("lda r1, 100(r31)") == Instruction(Op.LDA, ra=1, rb=31, imm=100)
+    assert one("ldah r1, 2(r31)") == Instruction(Op.LDAH, ra=1, rb=31, imm=2)
+
+
+def test_branches_with_labels():
+    instrs = assemble("loop: addi r1, 1, r1\nbne r1, loop")
+    assert instrs[1].imm == -2
+
+
+def test_forward_label():
+    instrs = assemble("beq r1, done\nnop\ndone: nop")
+    assert instrs[0].imm == 1
+
+
+def test_numeric_displacement():
+    assert one("br 5").imm == 5
+    assert one("bsr r26, -3") == Instruction(Op.BSR, ra=26, imm=-3)
+
+
+def test_indirect_forms():
+    assert one("jmp (r4)") == Instruction(Op.JMP, ra=31, rb=4)
+    assert one("jsr r26, (r4)") == Instruction(Op.JSR, ra=26, rb=4)
+    assert one("ret") == Instruction(Op.RET, ra=31, rb=26)
+    assert one("ret (r25)") == Instruction(Op.RET, ra=31, rb=25)
+
+
+def test_system_forms():
+    assert one("nop").op is Op.SPC
+    assert one("halt").imm == 1
+    assert one("sys read").imm == 2
+    assert one("sys exit").imm == 4
+    assert one("sentinel").op is Op.ILLEGAL
+
+
+def test_register_aliases():
+    assert one("add ra, sp, v0").ra == REG_ALIASES["ra"] == 26
+    assert one("add zero, a0, s1").rb == 16
+
+
+def test_comments_and_blank_lines():
+    instrs = assemble(
+        """
+        ; a comment
+        add r1, r2, r3  # trailing comment
+        # another
+
+        sub r1, r2, r3
+        """
+    )
+    assert len(instrs) == 2
+
+
+def test_multiple_labels_one_line():
+    instrs = assemble("a: b: nop\nbr a\nbr b")
+    assert instrs[1].imm == -2
+    assert instrs[2].imm == -3
+
+
+def test_errors():
+    with pytest.raises(AssemblyError):
+        assemble("frobnicate r1, r2")
+    with pytest.raises(AssemblyError):
+        assemble("add r1, r2")  # wrong arity
+    with pytest.raises(AssemblyError):
+        assemble("add r1, r2, r99")  # bad register
+    with pytest.raises(AssemblyError):
+        assemble("ldw r1, r2")  # not disp(reg)
+    with pytest.raises(AssemblyError):
+        assemble("x: nop\nx: nop")  # duplicate label
+    with pytest.raises(AssemblyError):
+        assemble("beq r1, nowhere")  # ValueError -> AssemblyError
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AssemblyError) as exc:
+        assemble("nop\nbogus r1")
+    assert exc.value.lineno == 2
+
+
+ROUNDTRIP_SOURCES = [
+    "add r1, r2, r3",
+    "cmpulti r1, 5, r2",
+    "ldw r9, -32(r30)",
+    "stw r9, 0(r15)",
+    "lda r1, 512(r31)",
+    "ldah r1, 8(r1)",
+    "beq r5, 10",
+    "blbs r7, -1",
+    "bsr r26, 100",
+    "br 0",
+    "jmp (r8)",
+    "jsr r26, (r27)",
+    "ret",
+    "nop",
+    "halt",
+    "sys write",
+    "sentinel",
+]
+
+
+@pytest.mark.parametrize("source", ROUNDTRIP_SOURCES)
+def test_disassemble_assemble_roundtrip(source):
+    instr = one(source)
+    again = one(disassemble_one(instr))
+    assert again == instr
+
+
+def test_disassemble_many():
+    instrs = assemble("add r1, r2, r3\nret")
+    text = disassemble(instrs)
+    assert assemble(text) == instrs
+
+
+@given(st.integers(-(1 << 20), (1 << 20) - 1))
+def test_branch_displacement_roundtrip(disp):
+    instr = one(f"beq r1, {disp}")
+    assert instr.imm == disp
+    assert one(disassemble_one(instr)) == instr

@@ -1,0 +1,167 @@
+"""Instruction encode/decode: roundtrips, sentinel, error cases."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    AluOp,
+    Instruction,
+    Op,
+    SENTINEL_WORD,
+    SysOp,
+    decode,
+    encode,
+    sentinel,
+)
+from repro.isa.encoding import DecodeError, decode_program, encode_program
+from repro.isa.opcodes import COND_BRANCH_OPS, Format, OP_FORMAT
+
+
+def _random_instruction(draw):
+    op = draw(
+        st.sampled_from([o for o in Op if o is not Op.ILLEGAL])
+    )
+    fmt = OP_FORMAT[op]
+    reg = st.integers(0, 31)
+    if fmt is Format.SPC:
+        return Instruction(op, imm=draw(st.integers(0, (1 << 26) - 1)))
+    if fmt is Format.BRA:
+        return Instruction(
+            op, ra=draw(reg), imm=draw(st.integers(-(1 << 20), (1 << 20) - 1))
+        )
+    if fmt in (Format.MEM, Format.MEMI):
+        return Instruction(
+            op,
+            ra=draw(reg),
+            rb=draw(reg),
+            imm=draw(st.integers(-(1 << 15), (1 << 15) - 1)),
+        )
+    if fmt is Format.JMP:
+        return Instruction(
+            op,
+            ra=draw(reg),
+            rb=draw(reg),
+            imm=draw(st.integers(0, (1 << 16) - 1)),  # JHINT is unsigned
+        )
+    if fmt is Format.OPR:
+        return Instruction(
+            op,
+            ra=draw(reg),
+            rb=draw(reg),
+            rc=draw(reg),
+            func=draw(st.integers(0, 15)),
+        )
+    assert fmt is Format.OPI
+    return Instruction(
+        op,
+        ra=draw(reg),
+        rc=draw(reg),
+        func=draw(st.integers(0, 15)),
+        imm=draw(st.integers(0, 255)),
+    )
+
+
+random_instruction = st.composite(_random_instruction)()
+
+
+@given(random_instruction)
+def test_encode_decode_roundtrip(instr):
+    word = encode(instr)
+    assert 0 <= word < (1 << 32)
+    assert decode(word) == instr
+
+
+@given(random_instruction)
+def test_encode_opcode_in_top_bits(instr):
+    assert encode(instr) >> 26 == int(instr.op)
+
+
+def test_sentinel_is_all_ones():
+    assert encode(sentinel()) == SENTINEL_WORD == 0xFFFFFFFF
+
+
+def test_decode_rejects_unknown_opcode():
+    with pytest.raises(DecodeError):
+        decode(0x3E << 26)  # reserved opcode
+
+
+def test_decode_rejects_out_of_range_word():
+    with pytest.raises(DecodeError):
+        decode(1 << 32)
+    with pytest.raises(DecodeError):
+        decode(-1)
+
+
+def test_decode_rejects_nonzero_sbz():
+    # OPR with a non-zero should-be-zero pad.
+    word = encode(Instruction(Op.OPR, ra=1, rb=2, rc=3, func=0))
+    corrupted = word | (0b101 << 13)
+    with pytest.raises(DecodeError):
+        decode(corrupted)
+
+
+def test_distinct_instructions_distinct_words():
+    a = encode(Instruction(Op.OPR, ra=1, rb=2, rc=3, func=int(AluOp.ADD)))
+    b = encode(Instruction(Op.OPR, ra=1, rb=2, rc=3, func=int(AluOp.SUB)))
+    c = encode(Instruction(Op.OPI, ra=1, rc=3, func=int(AluOp.ADD), imm=2))
+    assert len({a, b, c}) == 3
+
+
+def test_program_roundtrip():
+    instrs = [
+        Instruction(Op.LDA, ra=1, rb=31, imm=100),
+        Instruction(Op.BSR, ra=26, imm=-5),
+        Instruction(Op.SPC, imm=int(SysOp.EXIT)),
+    ]
+    assert decode_program(encode_program(instrs)) == instrs
+
+
+def test_classification_properties():
+    assert Instruction(Op.BSR, ra=26, imm=0).is_direct_call
+    assert Instruction(Op.BR, ra=26, imm=0).is_direct_call  # BR-with-link
+    assert not Instruction(Op.BR, ra=31, imm=0).is_direct_call
+    assert Instruction(Op.BR, ra=31, imm=0).is_uncond_branch
+    assert Instruction(Op.JSR, ra=26, rb=4).is_indirect_call
+    assert Instruction(Op.RET, ra=31, rb=26).is_return
+    assert Instruction(Op.JMP, ra=31, rb=4).is_indirect_jump
+    for op in COND_BRANCH_OPS:
+        assert Instruction(op, ra=1, imm=0).is_cond_branch
+
+
+def test_fallthrough_properties():
+    assert Instruction(Op.BEQ, ra=1, imm=0).has_fallthrough
+    assert Instruction(Op.BSR, ra=26, imm=0).has_fallthrough
+    assert not Instruction(Op.BR, ra=31, imm=0).has_fallthrough
+    assert not Instruction(Op.RET, ra=31, rb=26).has_fallthrough
+    assert not Instruction(Op.SPC, imm=int(SysOp.EXIT)).has_fallthrough
+    assert not Instruction(Op.SPC, imm=int(SysOp.LONGJMP)).has_fallthrough
+    assert Instruction(Op.SPC, imm=int(SysOp.READ)).has_fallthrough
+
+
+def test_writes_and_reads():
+    add = Instruction(Op.OPR, ra=1, rb=2, rc=3, func=int(AluOp.ADD))
+    assert add.writes_reg == 3
+    assert set(add.reads_regs()) == {1, 2}
+    store = Instruction(Op.STW, ra=1, rb=2, imm=0)
+    assert store.writes_reg is None
+    assert set(store.reads_regs()) == {1, 2}
+    load = Instruction(Op.LDW, ra=1, rb=2, imm=0)
+    assert load.writes_reg == 1
+    assert set(load.reads_regs()) == {2}
+    # zero register writes are reported as None
+    zadd = Instruction(Op.OPR, ra=1, rb=2, rc=31, func=0)
+    assert zadd.writes_reg is None
+
+
+def test_fields_lists_opcode_first():
+    instr = Instruction(Op.LDW, ra=1, rb=2, imm=-4)
+    kinds = [kind for kind, _ in instr.fields()]
+    from repro.isa.fields import FieldKind
+
+    assert kinds[0] is FieldKind.OPCODE
+    assert kinds == [
+        FieldKind.OPCODE,
+        FieldKind.RA,
+        FieldKind.RB,
+        FieldKind.MDISP,
+    ]

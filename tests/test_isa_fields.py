@@ -1,0 +1,124 @@
+"""Field-kind widths, signedness, and bit conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.fields import (
+    FIELD_WIDTHS,
+    FieldKind,
+    check_field,
+    field_is_signed,
+    field_max,
+    field_min,
+    from_bits,
+    to_bits,
+)
+
+
+def test_every_kind_has_a_width():
+    assert set(FIELD_WIDTHS) == set(FieldKind)
+
+
+def test_widths_fill_formats():
+    # opcode + branch format = 32 bits, etc.
+    w = FIELD_WIDTHS
+    assert w[FieldKind.OPCODE] + w[FieldKind.RA] + w[FieldKind.BDISP] == 32
+    assert (
+        w[FieldKind.OPCODE]
+        + w[FieldKind.RA]
+        + w[FieldKind.RB]
+        + w[FieldKind.MDISP]
+        == 32
+    )
+    assert (
+        w[FieldKind.OPCODE]
+        + w[FieldKind.RA]
+        + w[FieldKind.RB]
+        + w[FieldKind.SBZ]
+        + w[FieldKind.FUNC]
+        + w[FieldKind.RC]
+        == 32
+    )
+    assert w[FieldKind.OPCODE] + w[FieldKind.PALF] == 32
+
+
+def test_signedness():
+    assert field_is_signed(FieldKind.BDISP)
+    assert field_is_signed(FieldKind.MDISP)
+    assert field_is_signed(FieldKind.IMM16)
+    assert not field_is_signed(FieldKind.RA)
+    assert not field_is_signed(FieldKind.LIT8)
+    assert not field_is_signed(FieldKind.OPCODE)
+
+
+def test_ranges_signed():
+    assert field_min(FieldKind.MDISP) == -(1 << 15)
+    assert field_max(FieldKind.MDISP) == (1 << 15) - 1
+    assert field_min(FieldKind.BDISP) == -(1 << 20)
+    assert field_max(FieldKind.BDISP) == (1 << 20) - 1
+
+
+def test_ranges_unsigned():
+    assert field_min(FieldKind.RA) == 0
+    assert field_max(FieldKind.RA) == 31
+    assert field_max(FieldKind.LIT8) == 255
+    assert field_max(FieldKind.PALF) == (1 << 26) - 1
+
+
+def test_check_field_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        check_field(FieldKind.RA, 32)
+    with pytest.raises(ValueError):
+        check_field(FieldKind.RA, -1)
+    with pytest.raises(ValueError):
+        check_field(FieldKind.MDISP, 1 << 15)
+    with pytest.raises(ValueError):
+        check_field(FieldKind.LIT8, -3)
+
+
+def test_check_field_accepts_bounds():
+    assert check_field(FieldKind.MDISP, -(1 << 15)) == -(1 << 15)
+    assert check_field(FieldKind.MDISP, (1 << 15) - 1) == (1 << 15) - 1
+    assert check_field(FieldKind.RA, 0) == 0
+    assert check_field(FieldKind.RA, 31) == 31
+
+
+def test_to_bits_two_complement():
+    assert to_bits(FieldKind.MDISP, -1) == 0xFFFF
+    assert to_bits(FieldKind.BDISP, -1) == (1 << 21) - 1
+    assert to_bits(FieldKind.MDISP, 5) == 5
+
+
+def test_from_bits_sign_extension():
+    assert from_bits(FieldKind.MDISP, 0xFFFF) == -1
+    assert from_bits(FieldKind.MDISP, 0x7FFF) == 0x7FFF
+    assert from_bits(FieldKind.MDISP, 0x8000) == -(1 << 15)
+    assert from_bits(FieldKind.RA, 31) == 31
+
+
+def test_from_bits_rejects_wide_patterns():
+    with pytest.raises(ValueError):
+        from_bits(FieldKind.RA, 32)
+    with pytest.raises(ValueError):
+        from_bits(FieldKind.RA, -1)
+
+
+@st.composite
+def kind_and_value(draw):
+    kind = draw(st.sampled_from(list(FieldKind)))
+    value = draw(
+        st.integers(min_value=field_min(kind), max_value=field_max(kind))
+    )
+    return kind, value
+
+
+@given(kind_and_value())
+def test_bits_roundtrip(kv):
+    kind, value = kv
+    assert from_bits(kind, to_bits(kind, value)) == value
+
+
+@given(kind_and_value())
+def test_bits_fit_width(kv):
+    kind, value = kv
+    assert 0 <= to_bits(kind, value) < (1 << FIELD_WIDTHS[kind])

@@ -1,0 +1,183 @@
+"""Layout: addresses, fallthrough jumps, relocations, hi/lo splits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Instruction, Op, assemble, decode
+from repro.program import (
+    BasicBlock,
+    DataObject,
+    Function,
+    Program,
+)
+from repro.program.layout import (
+    TEXT_BASE,
+    branch_displacement,
+    layout,
+    needs_fallthrough_br,
+    resolve_data_ref,
+    split_hi_lo,
+)
+
+
+def linear_program() -> Program:
+    program = Program("p")
+    fn = Function("main")
+    fn.add_block(
+        BasicBlock("m.a", instrs=assemble("nop\nnop"), fallthrough="m.b")
+    )
+    fn.add_block(BasicBlock("m.b", instrs=assemble("halt")))
+    program.add_function(fn)
+    return program
+
+
+def test_sequential_addresses():
+    result = layout(linear_program())
+    assert result.block_addr["m.a"] == TEXT_BASE
+    assert result.block_addr["m.b"] == TEXT_BASE + 2
+    assert result.inserted_jumps == 0
+    assert result.image.entry_pc == TEXT_BASE
+
+
+def test_fallthrough_jump_inserted_when_displaced():
+    program = Program("p")
+    fn = Function("main")
+    # a falls through to c, but b is laid out in between
+    fn.add_block(BasicBlock("m.a", instrs=assemble("nop"), fallthrough="m.c"))
+    fn.add_block(BasicBlock("m.b", instrs=assemble("halt")))
+    fn.add_block(BasicBlock("m.c", instrs=assemble("halt")))
+    # make b reachable so validation-by-use is meaningful
+    fn.blocks["m.a"].instrs = assemble("beq r1, 0")
+    fn.blocks["m.a"].branch_target = "m.b"
+    program.add_function(fn)
+    result = layout(program)
+    assert result.inserted_jumps == 1
+    br_addr = result.fallthrough_br_addr["m.a"]
+    word = result.image.word(br_addr)
+    instr = decode(word)
+    assert instr.op is Op.BR
+    assert br_addr + 1 + instr.imm == result.block_addr["m.c"]
+
+
+def test_branch_displacements_resolved():
+    program = Program("p")
+    fn = Function("main")
+    fn.add_block(
+        BasicBlock(
+            "m.a",
+            instrs=assemble("beq r1, 0"),
+            branch_target="m.c",
+            fallthrough="m.b",
+        )
+    )
+    fn.add_block(BasicBlock("m.b", instrs=assemble("halt")))
+    fn.add_block(BasicBlock("m.c", instrs=assemble("halt")))
+    program.add_function(fn)
+    result = layout(program)
+    branch = decode(result.image.word(result.block_addr["m.a"]))
+    target = result.block_addr["m.a"] + 1 + branch.imm
+    assert target == result.block_addr["m.c"]
+
+
+def test_call_displacements_resolved():
+    program = Program("p")
+    fn = Function("main")
+    block = BasicBlock("m.a", instrs=assemble("bsr r26, 0\nhalt"))
+    block.call_targets[0] = "callee"
+    fn.add_block(block)
+    program.add_function(fn)
+    callee = Function("callee")
+    callee.add_block(BasicBlock("c.a", instrs=assemble("ret")))
+    program.add_function(callee)
+    result = layout(program)
+    call = decode(result.image.word(result.block_addr["m.a"]))
+    assert result.block_addr["m.a"] + 1 + call.imm == result.func_addr["callee"]
+
+
+def test_data_after_text_and_relocs():
+    program = linear_program()
+    program.add_data(DataObject("d", words=[42, 0], relocs={1: "m.b"}))
+    result = layout(program)
+    data_addr = result.data_addr["d"]
+    assert data_addr == TEXT_BASE + 3  # three instructions of text
+    assert result.image.word(data_addr) == 42
+    assert result.image.word(data_addr + 1) == result.block_addr["m.b"]
+    assert result.image.segment("data").size == 2
+
+
+def test_data_refs_materialised():
+    program = linear_program()
+    program.add_data(DataObject("G", words=[0] * 4))
+    block = program.functions["main"].blocks["m.a"]
+    block.instrs = assemble("ldah r1, 0(r31)\nlda r1, 0(r1)")
+    block.data_refs = {0: "G", 1: "G"}
+    result = layout(program)
+    addr = result.data_addr["G"]
+    hi = decode(result.image.word(result.block_addr["m.a"]))
+    lo = decode(result.image.word(result.block_addr["m.a"] + 1))
+    assert ((hi.imm << 16) + lo.imm) & 0xFFFFFFFF == addr
+
+
+def test_block_heads_and_symbols():
+    result = layout(linear_program())
+    assert result.image.block_heads[TEXT_BASE] == "m.a"
+    assert result.image.symbols["main"] == TEXT_BASE
+    assert result.image.symbols["m.b"] == TEXT_BASE + 2
+
+
+def test_layout_validates_program():
+    program = linear_program()
+    program.functions["main"].blocks["m.b"].instrs = []
+    with pytest.raises(Exception):
+        layout(program)
+
+
+def test_needs_fallthrough_br():
+    block = BasicBlock("b", instrs=assemble("nop"), fallthrough="x")
+    assert needs_fallthrough_br(block, "y")
+    assert not needs_fallthrough_br(block, "x")
+    ret = BasicBlock("r", instrs=assemble("ret"))
+    assert not needs_fallthrough_br(ret, None)
+
+
+def test_branch_displacement_helper():
+    assert branch_displacement(100, 101) == 0
+    assert branch_displacement(100, 100) == -1
+    assert branch_displacement(100, 90) == -11
+
+
+@given(st.integers(0, (1 << 31) - 1))
+def test_split_hi_lo_roundtrip(addr):
+    hi, lo = split_hi_lo(addr)
+    assert ((hi << 16) + lo) == addr
+    assert -(1 << 15) <= lo <= (1 << 15) - 1
+
+
+def test_resolve_data_ref_forms():
+    lda = Instruction(Op.LDA, ra=1, rb=1, imm=0)
+    ldah = Instruction(Op.LDAH, ra=1, rb=31, imm=0)
+    addr = 0x1ABCD
+    hi, lo = split_hi_lo(addr)
+    assert resolve_data_ref(lda, addr).imm == lo
+    assert resolve_data_ref(ldah, addr).imm == hi
+
+
+def test_custom_text_base():
+    result = layout(linear_program(), text_base=0x4000)
+    assert result.image.base == 0x4000
+    assert result.image.entry_pc == 0x4000
+
+
+def test_image_helpers():
+    result = layout(linear_program())
+    image = result.image
+    assert image.end == TEXT_BASE + 3
+    assert image.segment_of(TEXT_BASE).name == "text"
+    assert image.segment_of(999999) is None
+    assert image.has_segment("data")
+    assert not image.has_segment("compressed")
+    with pytest.raises(KeyError):
+        image.segment("nope")
+    with pytest.raises(IndexError):
+        image.word(TEXT_BASE - 1)
+    assert image.code_size_words == 3

@@ -1,0 +1,220 @@
+"""Program-level IR validation rules."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.program import (
+    BasicBlock,
+    DataObject,
+    Function,
+    JumpTableInfo,
+    Program,
+    ValidationError,
+)
+
+
+def valid_program() -> Program:
+    program = Program("p")
+    fn = Function("main")
+    fn.add_block(
+        BasicBlock("main.a", instrs=assemble("nop"), fallthrough="main.b")
+    )
+    fn.add_block(BasicBlock("main.b", instrs=assemble("halt")))
+    program.add_function(fn)
+    return program
+
+
+def test_valid_program_passes():
+    valid_program().validate()
+
+
+def test_missing_entry():
+    program = valid_program()
+    program.entry = "nope"
+    with pytest.raises(ValidationError):
+        program.validate()
+
+
+def test_duplicate_labels_across_functions():
+    program = valid_program()
+    fn = Function("other")
+    fn.add_block(BasicBlock("main.a", instrs=assemble("ret")))
+    program.add_function(fn)
+    with pytest.raises(ValidationError, match="defined in both"):
+        program.validate()
+
+
+def test_empty_block_rejected():
+    program = valid_program()
+    program.functions["main"].blocks["main.a"].instrs = []
+    with pytest.raises(ValidationError, match="empty"):
+        program.validate()
+
+
+def test_mid_block_branch_rejected():
+    program = valid_program()
+    block = program.functions["main"].blocks["main.a"]
+    block.instrs = assemble("br 0\nnop")
+    block.branch_target = "main.b"
+    block.fallthrough = None
+    with pytest.raises(ValidationError, match="not at block end"):
+        program.validate()
+
+
+def test_reserved_register_rejected():
+    program = valid_program()
+    block = program.functions["main"].blocks["main.a"]
+    block.instrs = assemble("add r28, r1, r2")
+    with pytest.raises(ValidationError, match="reserved"):
+        program.validate()
+
+
+def test_call_without_target_rejected():
+    program = valid_program()
+    block = program.functions["main"].blocks["main.a"]
+    block.instrs = assemble("bsr r26, 0")
+    with pytest.raises(ValidationError, match="no target"):
+        program.validate()
+
+
+def test_call_to_unknown_function_rejected():
+    program = valid_program()
+    block = program.functions["main"].blocks["main.a"]
+    block.instrs = assemble("bsr r26, 0")
+    block.call_targets[0] = "ghost"
+    with pytest.raises(ValidationError, match="unknown function"):
+        program.validate()
+
+
+def test_call_target_on_non_call_rejected():
+    program = valid_program()
+    block = program.functions["main"].blocks["main.a"]
+    block.call_targets[0] = "main"
+    with pytest.raises(ValidationError, match="not a direct call"):
+        program.validate()
+
+
+def test_data_ref_rules():
+    program = valid_program()
+    block = program.functions["main"].blocks["main.a"]
+    block.instrs = assemble("lda r1, 0(r31)")
+    block.data_refs[0] = "ghost"
+    with pytest.raises(ValidationError, match="unknown symbol"):
+        program.validate()
+    program.add_data(DataObject("ghost", words=[0]))
+    program.validate()
+    block.data_refs[0] = "ghost"
+    block.instrs = assemble("add r1, r2, r3")
+    with pytest.raises(ValidationError, match="not lda/ldah"):
+        program.validate()
+
+
+def test_cond_branch_needs_both_successors():
+    program = valid_program()
+    block = program.functions["main"].blocks["main.a"]
+    block.instrs = assemble("beq r1, 0")
+    block.branch_target = "main.b"
+    block.fallthrough = None
+    with pytest.raises(ValidationError, match="needs branch_target"):
+        program.validate()
+
+
+def test_uncond_branch_needs_target_only():
+    program = valid_program()
+    block = program.functions["main"].blocks["main.a"]
+    block.instrs = assemble("br 0")
+    block.branch_target = "main.b"
+    block.fallthrough = "main.b"
+    with pytest.raises(ValidationError, match="branch_target only"):
+        program.validate()
+
+
+def test_return_block_has_no_successors():
+    program = valid_program()
+    block = program.functions["main"].blocks["main.a"]
+    block.instrs = assemble("ret")
+    with pytest.raises(ValidationError, match="no successors"):
+        program.validate()
+
+
+def test_plain_block_needs_fallthrough():
+    program = valid_program()
+    block = program.functions["main"].blocks["main.b"]
+    block.instrs = assemble("nop")
+    with pytest.raises(ValidationError, match="falls off the end"):
+        program.validate()
+
+
+def test_successor_must_be_same_function():
+    program = valid_program()
+    fn = Function("other")
+    fn.add_block(BasicBlock("other.x", instrs=assemble("ret")))
+    program.add_function(fn)
+    program.functions["main"].blocks["main.a"].fallthrough = "other.x"
+    with pytest.raises(ValidationError, match="same function"):
+        program.validate()
+
+
+def test_jump_table_rules():
+    program = valid_program()
+    block = program.functions["main"].blocks["main.a"]
+    block.instrs = assemble("jmp (r4)")
+    block.fallthrough = None
+    block.jump_table = JumpTableInfo("tab")
+    with pytest.raises(ValidationError, match="missing or not marked"):
+        program.validate()
+    program.add_data(
+        DataObject(
+            "tab", words=[0, 0], relocs={0: "main.b", 1: "main.b"},
+            is_jump_table=True,
+        )
+    )
+    program.validate()
+    # a slot without a relocation is rejected
+    program.data["tab"].relocs.pop(1)
+    with pytest.raises(ValidationError, match="non-relocated"):
+        program.validate()
+
+
+def test_address_taken_must_exist():
+    program = valid_program()
+    program.address_taken.add("ghost")
+    with pytest.raises(ValidationError, match="address-taken"):
+        program.validate()
+
+
+def test_duplicate_function_rejected():
+    program = valid_program()
+    with pytest.raises(ValueError):
+        program.add_function(Function("main"))
+
+
+def test_copy_preserves_everything():
+    program = valid_program()
+    program.add_data(DataObject("d", words=[7]))
+    program.address_taken.add("main")
+    clone = program.copy()
+    clone.validate()
+    assert clone.data["d"].words == [7]
+    assert clone.address_taken == {"main"}
+    clone.functions["main"].blocks["main.a"].instrs = []
+    program.validate()  # original untouched
+
+
+def test_find_block_and_block_function():
+    program = valid_program()
+    fn, block = program.find_block("main.b")
+    assert fn.name == "main" and block.label == "main.b"
+    with pytest.raises(KeyError):
+        program.find_block("ghost")
+    assert program.block_function() == {
+        "main.a": "main",
+        "main.b": "main",
+    }
+
+
+def test_sizes():
+    program = valid_program()
+    program.add_data(DataObject("d", words=[1, 2, 3]))
+    assert program.code_size == 2
+    assert program.data_size == 3

@@ -1,0 +1,148 @@
+"""Procedural abstraction and the full squeeze pipeline."""
+
+from repro.isa import assemble
+from repro.program import BasicBlock, Function, Program
+from repro.program.layout import layout
+from repro.squeeze import abstract_repeats, squeeze
+from repro.squeeze.abstraction import ABSTRACT_LINK_REG
+from repro.vm.machine import Machine
+
+
+def program_with_duplicates(copies: int = 3) -> Program:
+    """Functions sharing an identical 8-instruction fragment."""
+    fragment = (
+        "addi r1, 10, r2\nmuli r2, 3, r3\nxori r3, 5, r4\n"
+        "subi r4, 1, r1\naddi r1, 10, r2\nmuli r2, 7, r3\n"
+        "xori r3, 9, r4\nsubi r4, 2, r1"
+    )
+    program = Program("p")
+    main = Function("main")
+    body = ""
+    targets = {}
+    for index in range(copies):
+        targets[len(body.split(chr(10))) - 1 if body else 0] = f"h{index}"
+    # simpler: main calls each host once
+    instrs = []
+    call_targets = {}
+    for index in range(copies):
+        call_targets[len(instrs)] = f"h{index}"
+        instrs.extend(assemble("bsr r26, 0"))
+    instrs.extend(assemble("add r1, r31, r16\nsys write\nhalt"))
+    main.add_block(
+        BasicBlock("m.a", instrs=instrs, call_targets=call_targets)
+    )
+    program.add_function(main)
+    for index in range(copies):
+        fn = Function(f"h{index}")
+        fn.add_block(
+            BasicBlock(
+                f"h{index}.a",
+                instrs=assemble(
+                    "subi r30, 1, r30\nstw r26, 0(r30)\n"
+                    + fragment
+                    + "\nldw r26, 0(r30)\naddi r30, 1, r30\nret"
+                ),
+            )
+        )
+        program.add_function(fn)
+    program.validate()
+    return program
+
+
+def run_program(program: Program) -> tuple[list[int], int]:
+    machine = Machine(layout(program).image)
+    result = machine.run(max_steps=100_000)
+    return result.output, result.exit_code
+
+
+def test_abstraction_finds_duplicates():
+    program = program_with_duplicates()
+    before = program.code_size
+    stats = abstract_repeats(program)
+    assert stats.fragments_abstracted >= 1
+    assert stats.occurrences_rewritten >= 3
+    assert program.code_size < before
+    program.validate()
+
+
+def test_abstraction_preserves_behaviour():
+    program = program_with_duplicates()
+    expected = run_program(program)
+    abstract_repeats(program)
+    assert run_program(program) == expected
+
+
+def test_abstracted_helper_uses_link_register():
+    program = program_with_duplicates()
+    abstract_repeats(program)
+    helpers = [
+        fn for name, fn in program.functions.items() if name.startswith("__abs")
+    ]
+    assert helpers
+    for helper in helpers:
+        term = helper.entry_block.terminator
+        assert term.is_return
+        assert term.rb == ABSTRACT_LINK_REG
+
+
+def test_no_duplicates_no_change():
+    program = Program("p")
+    fn = Function("main")
+    fn.add_block(
+        BasicBlock(
+            "m.a",
+            instrs=assemble(
+                "addi r31, 1, r1\nmuli r1, 3, r2\nxori r2, 9, r3\n"
+                "subi r3, 2, r4\nhalt"
+            ),
+        )
+    )
+    program.add_function(fn)
+    stats = abstract_repeats(program)
+    assert stats.fragments_abstracted == 0
+
+
+def test_unprofitable_pair_not_abstracted():
+    # two occurrences of a length-4 fragment: savings (2-1)*4-2-1 = 1 > 0,
+    # so it IS profitable; but a fragment duplicated once at length 4 with
+    # overlap constraints still must not lose code.  Check behaviour only.
+    program = program_with_duplicates(copies=2)
+    expected = run_program(program)
+    abstract_repeats(program)
+    assert run_program(program) == expected
+
+
+class TestPipeline:
+    def test_squeeze_reduces_and_preserves(self, small_workload, small_inputs):
+        program = small_workload.program
+        profile_in, _ = small_inputs
+        baseline = Machine(
+            layout(program).image, input_words=profile_in
+        ).run(max_steps=10_000_000)
+
+        squeezed, stats = squeeze(program)
+        assert stats.output_size < stats.input_size
+        assert stats.reduction > 0.15  # planted junk reclaimed
+        run = Machine(
+            layout(squeezed).image, input_words=profile_in
+        ).run(max_steps=10_000_000)
+        assert run.output == baseline.output
+        assert run.exit_code == baseline.exit_code
+
+    def test_squeeze_pass_stats_populated(self, small_workload):
+        _, stats = squeeze(small_workload.program)
+        assert stats.unreachable.functions_removed > 0
+        assert stats.nops.nops_removed > 0
+        assert stats.dead.stores_removed > 0
+        assert stats.abstraction.fragments_abstracted > 0
+
+    def test_squeeze_does_not_mutate_input(self, small_workload):
+        before = small_workload.program.code_size
+        squeeze(small_workload.program)
+        assert small_workload.program.code_size == before
+
+    def test_squeeze_is_idempotentish(self, small_workload):
+        squeezed, _ = squeeze(small_workload.program)
+        again, stats = squeeze(squeezed)
+        # a second run finds almost nothing new
+        assert stats.reduction < 0.02

@@ -1,0 +1,240 @@
+"""The individual squeeze passes: unreachable, nops, dead stores."""
+
+from repro.isa import assemble
+from repro.program import (
+    BasicBlock,
+    DataObject,
+    Function,
+    JumpTableInfo,
+    Program,
+)
+from repro.squeeze import (
+    eliminate_dead_stores,
+    remove_nops,
+    remove_unreachable,
+)
+
+
+def base_program() -> Program:
+    program = Program("p")
+    main = Function("main")
+    main.add_block(
+        BasicBlock("m.a", instrs=assemble("nop\naddi r31, 1, r16\nnop"),
+                   fallthrough="m.b")
+    )
+    main.add_block(BasicBlock("m.b", instrs=assemble("sys exit")))
+    program.add_function(main)
+    return program
+
+
+class TestUnreachable:
+    def test_removes_uncalled_function(self):
+        program = base_program()
+        dead = Function("dead")
+        dead.add_block(BasicBlock("d.a", instrs=assemble("ret")))
+        program.add_function(dead)
+        stats = remove_unreachable(program)
+        assert stats.functions_removed == 1
+        assert "dead" not in program.functions
+        program.validate()
+
+    def test_keeps_called_function(self):
+        program = base_program()
+        live = Function("live")
+        live.add_block(BasicBlock("l.a", instrs=assemble("ret")))
+        program.add_function(live)
+        block = program.functions["main"].blocks["m.a"]
+        block.instrs = assemble("bsr r26, 0")
+        block.call_targets[0] = "live"
+        remove_unreachable(program)
+        assert "live" in program.functions
+
+    def test_keeps_address_taken(self):
+        program = base_program()
+        fp = Function("fp")
+        fp.add_block(BasicBlock("fp.a", instrs=assemble("ret")))
+        program.add_function(fp)
+        program.address_taken.add("fp")
+        remove_unreachable(program)
+        assert "fp" in program.functions
+
+    def test_removes_unreachable_block(self):
+        program = base_program()
+        program.functions["main"].add_block(
+            BasicBlock("m.orphan", instrs=assemble("halt"))
+        )
+        stats = remove_unreachable(program)
+        assert stats.blocks_removed == 1
+        assert "m.orphan" not in program.functions["main"].blocks
+
+    def test_reclaims_orphan_jump_table(self):
+        program = base_program()
+        program.add_data(
+            DataObject("tab", words=[0], relocs={0: "m.b"}, is_jump_table=True)
+        )
+        stats = remove_unreachable(program)
+        assert stats.data_words_reclaimed == 1
+        assert "tab" not in program.data
+
+    def test_keeps_used_jump_table(self):
+        program = base_program()
+        main = program.functions["main"]
+        main.blocks["m.a"].fallthrough = "m.sw"
+        sw = BasicBlock("m.sw", instrs=assemble("jmp (r4)"))
+        sw.jump_table = JumpTableInfo("tab")
+        main.add_block(sw)
+        program.add_data(
+            DataObject("tab", words=[0], relocs={0: "m.b"}, is_jump_table=True)
+        )
+        remove_unreachable(program)
+        assert "tab" in program.data
+
+    def test_dangling_reloc_cleared(self):
+        program = base_program()
+        ghost = Function("ghost")
+        ghost.add_block(BasicBlock("g.a", instrs=assemble("ret")))
+        program.add_function(ghost)
+        program.add_data(DataObject("d", words=[0], relocs={0: "ghost"}))
+        remove_unreachable(program)
+        assert program.data["d"].relocs == {}
+
+
+class TestNops:
+    def test_strips_nops(self):
+        program = base_program()
+        stats = remove_nops(program)
+        assert stats.nops_removed == 2
+        assert program.functions["main"].blocks["m.a"].size == 1
+        program.validate()
+
+    def test_preserves_call_target_indices(self):
+        program = base_program()
+        callee = Function("callee")
+        callee.add_block(BasicBlock("c.a", instrs=assemble("ret")))
+        program.add_function(callee)
+        block = program.functions["main"].blocks["m.a"]
+        block.instrs = assemble("nop\nbsr r26, 0\nnop")
+        block.call_targets = {1: "callee"}
+        remove_nops(program)
+        assert block.call_targets == {0: "callee"}
+        program.validate()
+
+    def test_empty_block_removed_and_redirected(self):
+        program = base_program()
+        main = program.functions["main"]
+        main.blocks["m.a"].fallthrough = "m.pad"
+        main.add_block(
+            BasicBlock("m.pad", instrs=assemble("nop"), fallthrough="m.b")
+        )
+        remove_nops(program)
+        assert "m.pad" not in main.blocks
+        assert main.blocks["m.a"].fallthrough == "m.b"
+        program.validate()
+
+    def test_chain_of_empty_blocks(self):
+        program = base_program()
+        main = program.functions["main"]
+        main.blocks["m.a"].fallthrough = "m.p1"
+        main.add_block(
+            BasicBlock("m.p1", instrs=assemble("nop"), fallthrough="m.p2")
+        )
+        main.add_block(
+            BasicBlock("m.p2", instrs=assemble("nop\nnop"), fallthrough="m.b")
+        )
+        remove_nops(program)
+        assert main.blocks["m.a"].fallthrough == "m.b"
+        program.validate()
+
+    def test_function_entry_redirected(self):
+        program = base_program()
+        callee = Function("callee")
+        callee.add_block(
+            BasicBlock("c.pad", instrs=assemble("nop"), fallthrough="c.a")
+        )
+        callee.add_block(BasicBlock("c.a", instrs=assemble("ret")))
+        program.add_function(callee)
+        block = program.functions["main"].blocks["m.a"]
+        block.instrs = assemble("bsr r26, 0")
+        block.call_targets[0] = "callee"
+        remove_nops(program)
+        assert program.functions["callee"].entry == "c.a"
+        program.validate()
+
+
+class TestDeadStores:
+    def test_removes_unread_write(self):
+        program = base_program()
+        block = program.functions["main"].blocks["m.a"]
+        block.instrs = assemble(
+            "addi r31, 9, r8\naddi r31, 1, r16"  # r8 never read
+        )
+        stats = eliminate_dead_stores(program)
+        assert stats.stores_removed == 1
+        assert block.size == 1
+
+    def test_keeps_stored_value_chain(self):
+        program = base_program()
+        block = program.functions["main"].blocks["m.a"]
+        block.instrs = assemble(
+            "addi r31, 9, r1\naddi r1, 1, r2\n"
+            "subi r30, 1, r30\nstw r2, 0(r30)\naddi r31, 0, r16"
+        )
+        eliminate_dead_stores(program)
+        assert block.size == 5  # everything feeds the store
+
+    def test_call_clobber_makes_write_dead(self):
+        program = base_program()
+        callee = Function("callee")
+        callee.add_block(BasicBlock("c.a", instrs=assemble("ret")))
+        program.add_function(callee)
+        block = program.functions["main"].blocks["m.a"]
+        # r1 is caller-save and unread before the call kills it
+        block.instrs = assemble(
+            "addi r31, 5, r1\nbsr r26, 0\naddi r31, 0, r16"
+        )
+        block.call_targets = {1: "callee"}
+        stats = eliminate_dead_stores(program)
+        assert stats.stores_removed == 1
+
+    def test_callee_saved_survives_call(self):
+        program = base_program()
+        callee = Function("callee")
+        callee.add_block(BasicBlock("c.a", instrs=assemble("ret")))
+        program.add_function(callee)
+        block = program.functions["main"].blocks["m.a"]
+        # r9 is callee-save; reading it after the call keeps the write
+        block.instrs = assemble(
+            "addi r31, 5, r9\nbsr r26, 0\nadd r9, r31, r16"
+        )
+        block.call_targets = {1: "callee"}
+        stats = eliminate_dead_stores(program)
+        assert stats.stores_removed == 0
+
+    def test_liveness_across_branches(self):
+        program = Program("p")
+        fn = Function("main")
+        fn.add_block(
+            BasicBlock(
+                "m.a",
+                instrs=assemble("addi r31, 7, r2\nbeq r1, 0"),
+                branch_target="m.c",
+                fallthrough="m.b",
+            )
+        )
+        fn.add_block(
+            BasicBlock("m.b", instrs=assemble("addi r31, 0, r16\nsys exit"))
+        )
+        # r2 read only on this path: the write must survive
+        fn.add_block(
+            BasicBlock("m.c", instrs=assemble("add r2, r31, r16\nsys exit"))
+        )
+        program.add_function(fn)
+        stats = eliminate_dead_stores(program)
+        assert stats.stores_removed == 0
+
+    def test_terminator_never_removed(self):
+        program = base_program()
+        block = program.functions["main"].blocks["m.a"]
+        block.instrs = assemble("addi r31, 9, r8")  # dead but terminator
+        eliminate_dead_stores(program)
+        assert block.size == 1

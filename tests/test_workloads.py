@@ -1,0 +1,171 @@
+"""The workload generator: structure, sizes, determinism, features."""
+
+import pytest
+
+from repro.program.layout import layout
+from repro.squeeze import squeeze
+from repro.vm.machine import Machine
+from repro.workloads.generator import build_workload
+from repro.workloads.inputs import make_input, profiling_input, timing_input
+from repro.workloads.mediabench import (
+    MEDIABENCH,
+    mediabench_spec,
+)
+from repro.workloads.spec import KindPlan, WorkloadSpec
+from tests.conftest import small_spec
+
+
+class TestSpec:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="x", seed=1,
+                target_input_size=100, target_squeeze_size=200,
+            )
+        with pytest.raises(ValueError):
+            small_spec(ladder_boost=(1, 2))
+
+    def test_kind_plan_partitions(self):
+        plan = KindPlan.from_spec(small_spec())
+        kinds = (
+            list(plan.hot_kinds)
+            + list(plan.ladder_kinds)
+            + list(plan.timing_only_kinds)
+            + list(plan.never_kinds)
+        )
+        assert kinds == list(range(plan.n_kinds))
+
+    def test_mediabench_specs(self):
+        for name in MEDIABENCH:
+            spec = mediabench_spec(name)
+            assert spec.name == name
+        with pytest.raises(KeyError):
+            mediabench_spec("quake")
+
+    def test_mediabench_scale(self):
+        spec = mediabench_spec("gsm", scale=0.25)
+        full = mediabench_spec("gsm")
+        assert spec.target_input_size == int(full.target_input_size * 0.25)
+
+
+class TestGenerator:
+    def test_program_validates(self, small_workload):
+        small_workload.program.validate()
+
+    def test_input_size_on_target(self, small_workload):
+        spec = small_workload.spec
+        assert (
+            abs(small_workload.program.code_size - spec.target_input_size)
+            <= 6
+        )
+
+    def test_squeeze_size_near_target(self, small_workload):
+        spec = small_workload.spec
+        squeezed, _ = squeeze(small_workload.program)
+        tolerance = max(10, spec.target_squeeze_size // 100)
+        assert (
+            abs(squeezed.code_size - spec.target_squeeze_size) <= tolerance
+        )
+
+    def test_deterministic(self):
+        a = build_workload(small_spec(), filler_budget=2500)
+        b = build_workload(small_spec(), filler_budget=2500)
+        assert a.program.code_size == b.program.code_size
+        for (_, block_a), (_, block_b) in zip(
+            a.program.all_blocks(), b.program.all_blocks()
+        ):
+            assert block_a.label == block_b.label
+            assert block_a.instrs == block_b.instrs
+
+    def test_different_seeds_differ(self):
+        a = build_workload(small_spec(seed=1), filler_budget=2500)
+        b = build_workload(small_spec(seed=2), filler_budget=2500)
+        blocks_a = [bl.instrs for _, bl in a.program.all_blocks()]
+        blocks_b = [bl.instrs for _, bl in b.program.all_blocks()]
+        assert blocks_a != blocks_b
+
+    def test_features_present(self, small_workload):
+        program = small_workload.program
+        assert any(
+            block.jump_table is not None
+            for _, block in program.all_blocks()
+        )
+        assert program.address_taken  # function-pointer table
+        assert any(
+            fn.calls_setjmp for fn in program.functions.values()
+        )
+        assert any(
+            fn.has_indirect_call for fn in program.functions.values()
+        )
+        assert "rec" in program.functions
+
+    def test_planted_junk_is_reclaimed(self, small_workload):
+        _, stats = squeeze(small_workload.program)
+        assert stats.nops.nops_removed > 50
+        assert stats.dead.stores_removed > 30
+        assert stats.unreachable.functions_removed >= 1
+        assert stats.abstraction.fragments_abstracted >= 1
+
+    def test_runs_to_completion(self, small_workload, small_inputs):
+        profile_in, _ = small_inputs
+        machine = Machine(
+            layout(small_workload.program).image, input_words=profile_in
+        )
+        run = machine.run(max_steps=20_000_000)
+        assert run.exit_code == 0
+        assert len(run.output) == 2  # checksum + error count
+        assert run.output[1] == 0  # no longjmp on the profile input
+
+
+class TestInputs:
+    def test_modes_validated(self, small_workload):
+        with pytest.raises(ValueError):
+            make_input(small_workload, "bogus")
+
+    def test_ladder_counts_exact(self, small_workload):
+        spec = small_workload.spec
+        plan = small_workload.plan
+        items = profiling_input(small_workload)
+        n_kinds = small_workload.n_kinds
+        for position, kind in enumerate(plan.ladder_kinds):
+            count = sum(1 for item in items if item % n_kinds == kind)
+            assert count == spec.ladder_counts[position]
+
+    def test_timing_only_kinds_absent_from_profile(self, small_workload):
+        items = profiling_input(small_workload)
+        n_kinds = small_workload.n_kinds
+        for kind in small_workload.plan.timing_only_kinds:
+            assert all(item % n_kinds != kind for item in items)
+
+    def test_timing_only_kinds_present_in_timing(self, small_workload):
+        items = timing_input(small_workload)
+        n_kinds = small_workload.n_kinds
+        for kind in small_workload.plan.timing_only_kinds:
+            count = sum(1 for item in items if item % n_kinds == kind)
+            assert count == small_workload.spec.timing_only_count
+
+    def test_never_kinds_absent_everywhere(self, small_workload):
+        n_kinds = small_workload.n_kinds
+        for mode_items in (
+            profiling_input(small_workload),
+            timing_input(small_workload),
+        ):
+            for kind in small_workload.plan.never_kinds:
+                assert all(item % n_kinds != kind for item in mode_items)
+
+    def test_inputs_deterministic(self, small_workload):
+        assert profiling_input(small_workload) == profiling_input(
+            small_workload
+        )
+
+    def test_timing_larger_than_profile(self, small_workload):
+        assert len(timing_input(small_workload)) > len(
+            profiling_input(small_workload)
+        )
+
+    def test_payloads_bounded(self, small_workload):
+        from repro.workloads.generator import PAYLOAD_BITS
+
+        n_kinds = small_workload.n_kinds
+        for item in timing_input(small_workload):
+            assert item // n_kinds < (1 << PAYLOAD_BITS)
