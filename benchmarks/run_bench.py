@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Decode-path benchmark: table-driven decoder and the parallel harness.
+
+Produces ``BENCH_decode.json`` with two sections:
+
+* ``decoder`` -- symbol-decode throughput of ``ProgramCodec.
+  decode_region`` over the pooled MediaBench streams, bit-at-a-time
+  reference (``fast=False``) vs. the table-driven path (``fast=True``).
+* ``fig7_time_sweep`` -- wall-clock of the full ``fig7_time_rows``
+  sweep: the serial driver vs. the parallel cached harness, cold
+  (empty on-disk cache) and warm (second run against the same cache).
+  Each timing runs in a fresh interpreter so in-process ``lru_cache``
+  state never leaks between configurations; on a single-core host the
+  cold run has no pool speedup and the win comes from the persistent
+  cache on reruns, which is recorded as-is.
+
+Usage::
+
+    python benchmarks/run_bench.py [--scale 0.3] [--out BENCH_decode.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+DECODER_REPEATS = 3
+
+
+def _build_pools(scale: float):
+    from repro.analysis.experiments import squash_benchmark
+    from repro.compress.codec import ProgramCodec
+    from repro.core.pipeline import SquashConfig
+    from repro.workloads.mediabench import MEDIABENCH
+
+    pools = []
+    for name in MEDIABENCH:
+        result = squash_benchmark(name, scale, SquashConfig(theta=1.0))
+        blob = result.info.blob
+        codec = ProgramCodec.from_table_words(list(blob.table_words))
+        pools.append(
+            (codec, blob.stream_words, tuple(blob.region_bit_offsets))
+        )
+    return pools
+
+
+def _decode_pass(pools, fast: bool) -> tuple[int, float]:
+    symbols = 0
+    start = time.perf_counter()
+    for codec, words, offsets in pools:
+        for offset in offsets:
+            items, _bits = codec.decode_region(words, offset, fast=fast)
+            # one opcode symbol per item and per sentinel, one per field
+            symbols += 1 + sum(1 + len(item.fields) for item in items)
+    return symbols, time.perf_counter() - start
+
+
+def bench_decoder(scale: float) -> dict:
+    pools = _build_pools(scale)
+    results = {}
+    for label, fast in (("reference", False), ("table", True)):
+        best = None
+        symbols = 0
+        for _ in range(DECODER_REPEATS):
+            symbols, elapsed = _decode_pass(pools, fast)
+            best = elapsed if best is None else min(best, elapsed)
+        results[label] = {
+            "symbols": symbols,
+            "seconds": round(best, 4),
+            "symbols_per_second": round(symbols / best),
+        }
+    results["speedup"] = round(
+        results["table"]["symbols_per_second"]
+        / results["reference"]["symbols_per_second"],
+        2,
+    )
+    results["streams"] = len(pools)
+    return results
+
+
+def _child_sweep(mode: str, scale: float) -> None:
+    """Subprocess entry: time one full fig7_time_rows sweep."""
+    if mode == "serial":
+        from repro.analysis.experiments import fig7_time_rows
+
+        start = time.perf_counter()
+        rows = fig7_time_rows(scale=scale)
+    else:
+        from repro.analysis.parallel import fig7_time_rows
+
+        start = time.perf_counter()
+        rows = fig7_time_rows(scale=scale)
+    elapsed = time.perf_counter() - start
+    print(
+        json.dumps(
+            {
+                "elapsed": elapsed,
+                "rows": [
+                    [row.name, row.theta_paper, row.relative_time]
+                    for row in rows
+                ],
+            }
+        )
+    )
+
+
+def _run_sweep(mode: str, scale: float, cache_dir: str | None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    if cache_dir is not None:
+        env["REPRO_CACHE_DIR"] = cache_dir
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(pathlib.Path(__file__).resolve()),
+            "--child",
+            mode,
+            "--scale",
+            str(scale),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def bench_sweep(scale: float) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold = _run_sweep("parallel", scale, cache_dir=tmp)
+        warm = _run_sweep("parallel", scale, cache_dir=tmp)
+        serial = _run_sweep("serial", scale, cache_dir=None)
+    if not (serial["rows"] == cold["rows"] == warm["rows"]):
+        raise AssertionError(
+            "parallel harness rows diverged from the serial driver"
+        )
+    return {
+        "rows": len(serial["rows"]),
+        "serial_seconds": round(serial["elapsed"], 2),
+        "parallel_cold_seconds": round(cold["elapsed"], 2),
+        "parallel_warm_seconds": round(warm["elapsed"], 4),
+        "speedup_cold": round(serial["elapsed"] / cold["elapsed"], 2),
+        "speedup_warm": round(serial["elapsed"] / warm["elapsed"], 1),
+        "workers": os.cpu_count(),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_decode.json")
+    )
+    parser.add_argument("--child", choices=("serial", "parallel"))
+    parser.add_argument(
+        "--skip-sweep",
+        action="store_true",
+        help="only run the decoder microbenchmark",
+    )
+    args = parser.parse_args()
+
+    if args.child:
+        _child_sweep(args.child, args.scale)
+        return
+
+    report = {
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "scale": args.scale,
+        "decoder": bench_decoder(args.scale),
+    }
+    print(
+        "decoder: {reference[symbols_per_second]:,} -> "
+        "{table[symbols_per_second]:,} sym/s ({speedup}x)".format(
+            **report["decoder"]
+        )
+    )
+    if not args.skip_sweep:
+        report["fig7_time_sweep"] = bench_sweep(args.scale)
+        sweep = report["fig7_time_sweep"]
+        print(
+            f"fig7 sweep: serial {sweep['serial_seconds']}s, "
+            f"parallel cold {sweep['parallel_cold_seconds']}s "
+            f"({sweep['speedup_cold']}x), warm "
+            f"{sweep['parallel_warm_seconds']}s "
+            f"({sweep['speedup_warm']}x)"
+        )
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

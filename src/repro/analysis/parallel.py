@@ -1,0 +1,290 @@
+"""Parallel, persistently-cached experiment harness.
+
+The serial drivers in :mod:`repro.analysis.experiments` sweep
+(benchmark, θ, K) cells strictly one after another and remember results
+only in per-process ``lru_cache``s.  This module fans the independent
+cells of ``fig3_rows`` / ``fig6_rows`` / ``fig7_size_rows`` /
+``fig7_time_rows`` across a ``ProcessPoolExecutor`` and stores each
+cell's result in an on-disk content-addressed cache, so benchmark
+reruns are incremental: a cell recomputes only when the benchmark name,
+scale, configuration, or the pipeline itself changes.
+
+Cache keys are the SHA-256 of (cell kind, spec name, scale, canonical
+config, :data:`PIPELINE_SALT`).  Bump the salt whenever a pipeline
+change can alter measured numbers -- it invalidates every cached cell
+at once.
+
+The drivers here mirror the serial ones name-for-name and row-for-row;
+``benchmarks/conftest.py`` selects this module when
+``REPRO_BENCH_PARALLEL`` is set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.analysis.experiments import (
+    FIG3_BOUNDS,
+    FIG3_THETAS,
+    FIG6_THETAS,
+    FIG7_THETAS,
+    Fig3Row,
+    SizeRow,
+    TimeRow,
+    baseline_run,
+    map_theta,
+    squash_benchmark,
+    squashed_run,
+)
+from repro.analysis.stats import geometric_mean
+from repro.core.pipeline import SquashConfig
+from repro.workloads.mediabench import MEDIABENCH
+
+__all__ = [
+    "PIPELINE_SALT",
+    "cache_dir",
+    "compute_cells",
+    "fig3_rows",
+    "fig6_rows",
+    "fig7_size_rows",
+    "fig7_time_rows",
+]
+
+#: Cache-invalidation salt: bump on any change that can alter measured
+#: sizes, ratios, or cycle counts.
+PIPELINE_SALT = "pgcc-pipeline-v1"
+
+
+def cache_dir() -> pathlib.Path:
+    """The on-disk cell cache root (``REPRO_CACHE_DIR`` overrides)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return pathlib.Path(root)
+    return pathlib.Path.cwd() / ".repro-cache"
+
+
+def _workers() -> int:
+    env = os.environ.get("REPRO_BENCH_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+def _canonical(value):
+    """A JSON-stable form of configs (dataclasses, enums, sets)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (frozenset, set)):
+        return sorted(_canonical(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    return value
+
+
+def _cell_digest(kind: str, name: str, scale: float, config: SquashConfig) -> str:
+    payload = json.dumps(
+        {
+            "kind": kind,
+            "name": name,
+            "scale": scale,
+            "config": _canonical(config),
+            "salt": PIPELINE_SALT,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _compute_cell(
+    kind: str, name: str, scale: float, config: SquashConfig
+) -> dict:
+    """One experiment cell, executed in a worker process.
+
+    ``size`` cells squash only; ``time`` cells also run baseline and
+    squashed images on the timing input and verify output equivalence.
+    """
+    if kind == "size":
+        result = squash_benchmark(name, scale, config)
+        return {
+            "footprint_total": result.footprint.total,
+            "baseline_words": result.baseline_words,
+            "reduction": result.reduction,
+        }
+    if kind == "time":
+        base = baseline_run(name, scale)
+        run = squashed_run(name, scale, config)
+        if run.output != base.output or run.exit_code != base.exit_code:
+            raise AssertionError(
+                f"{name}: squashed output diverged at θ={config.theta}"
+            )
+        return {
+            "cycles": run.cycles,
+            "base_cycles": base.cycles,
+            "relative_time": run.cycles / base.cycles,
+        }
+    raise ValueError(f"unknown cell kind {kind!r}")
+
+
+def compute_cells(
+    cells: list[tuple[str, str, float, SquashConfig]],
+    parallel: bool = True,
+    workers: int | None = None,
+    cache: bool = True,
+) -> dict[tuple[str, str, float, SquashConfig], dict]:
+    """Resolve every cell, from disk cache where possible.
+
+    Misses run across a process pool (*parallel*) or inline; every
+    fresh result is persisted before returning.
+    """
+    results: dict[tuple[str, str, float, SquashConfig], dict] = {}
+    misses: list[tuple[str, str, float, SquashConfig]] = []
+    root = cache_dir()
+    paths: dict[tuple[str, str, float, SquashConfig], pathlib.Path] = {}
+
+    for cell in dict.fromkeys(cells):
+        digest = _cell_digest(*cell)
+        path = root / digest[:2] / f"{digest}.json"
+        paths[cell] = path
+        if cache and path.exists():
+            try:
+                results[cell] = json.loads(path.read_text())
+                continue
+            except (OSError, ValueError):
+                pass  # unreadable entry: recompute it
+        misses.append(cell)
+
+    if misses:
+        if parallel and _workers() > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=_workers()) as pool:
+                futures = [
+                    pool.submit(_compute_cell, *cell) for cell in misses
+                ]
+                fresh = [future.result() for future in futures]
+        else:
+            fresh = [_compute_cell(*cell) for cell in misses]
+        for cell, result in zip(misses, fresh):
+            results[cell] = result
+            if cache:
+                path = paths[cell]
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(".tmp")
+                tmp.write_text(json.dumps(result, sort_keys=True))
+                tmp.replace(path)
+    return results
+
+
+# -- drivers (row-compatible with repro.analysis.experiments) ---------------
+
+
+def fig3_rows(
+    names: tuple[str, ...],
+    scale: float = 1.0,
+    bounds: tuple[int, ...] = FIG3_BOUNDS,
+    thetas: tuple[float, ...] = FIG3_THETAS,
+    parallel: bool = True,
+) -> list[Fig3Row]:
+    cells = []
+    for theta_paper in thetas:
+        for bound in bounds:
+            config = SquashConfig(
+                theta=map_theta(theta_paper)
+            ).with_buffer_bound(bound)
+            for name in names:
+                cells.append(("size", name, scale, config))
+    results = compute_cells(cells, parallel=parallel)
+    rows = []
+    for theta_paper in thetas:
+        for bound in bounds:
+            config = SquashConfig(
+                theta=map_theta(theta_paper)
+            ).with_buffer_bound(bound)
+            ratios = [
+                results[("size", name, scale, config)]["footprint_total"]
+                / results[("size", name, scale, config)]["baseline_words"]
+                for name in names
+            ]
+            rows.append(
+                Fig3Row(
+                    bound_bytes=bound,
+                    theta_paper=theta_paper,
+                    relative_size=geometric_mean(ratios),
+                )
+            )
+    return rows
+
+
+def fig6_rows(
+    names: tuple[str, ...] = MEDIABENCH,
+    scale: float = 1.0,
+    thetas: tuple[float, ...] = FIG6_THETAS,
+    parallel: bool = True,
+) -> list[SizeRow]:
+    cells = [
+        ("size", name, scale, SquashConfig(theta=map_theta(theta_paper)))
+        for name in names
+        for theta_paper in thetas
+    ]
+    results = compute_cells(cells, parallel=parallel)
+    rows = []
+    for name in names:
+        for theta_paper in thetas:
+            theta = map_theta(theta_paper)
+            cell = ("size", name, scale, SquashConfig(theta=theta))
+            rows.append(
+                SizeRow(
+                    name=name,
+                    theta_paper=theta_paper,
+                    theta_ours=theta,
+                    reduction=results[cell]["reduction"],
+                )
+            )
+    return rows
+
+
+def fig7_size_rows(
+    names: tuple[str, ...] = MEDIABENCH,
+    scale: float = 1.0,
+    parallel: bool = True,
+) -> list[SizeRow]:
+    return fig6_rows(
+        names, scale=scale, thetas=FIG7_THETAS, parallel=parallel
+    )
+
+
+def fig7_time_rows(
+    names: tuple[str, ...] = MEDIABENCH,
+    scale: float = 1.0,
+    thetas: tuple[float, ...] = FIG7_THETAS,
+    parallel: bool = True,
+) -> list[TimeRow]:
+    cells = [
+        ("time", name, scale, SquashConfig(theta=map_theta(theta_paper)))
+        for name in names
+        for theta_paper in thetas
+    ]
+    results = compute_cells(cells, parallel=parallel)
+    rows = []
+    for name in names:
+        for theta_paper in thetas:
+            theta = map_theta(theta_paper)
+            cell = ("time", name, scale, SquashConfig(theta=theta))
+            rows.append(
+                TimeRow(
+                    name=name,
+                    theta_paper=theta_paper,
+                    theta_ours=theta,
+                    relative_time=results[cell]["relative_time"],
+                )
+            )
+    return rows

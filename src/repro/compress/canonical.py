@@ -21,6 +21,12 @@ from repro.compress.huffman import huffman_code_lengths
 #: Hard cap on codeword length accepted by the (de)serialised tables.
 MAX_CODE_LENGTH = 40
 
+#: First-level width (in bits) of the table-driven decoder.  Codewords
+#: no longer than this decode with a single peek + table lookup; longer
+#: ones take the overflow path.  2^K table entries are built lazily per
+#: code, so K trades table-build time against overflow frequency.
+FAST_TABLE_BITS = 12
+
 
 @dataclass(frozen=True)
 class CanonicalCode:
@@ -105,11 +111,19 @@ class CanonicalCode:
     # -- encode / decode -----------------------------------------------------
 
     def encoder(self) -> dict[int, tuple[int, int]]:
-        """Precomputed symbol -> (codeword, length) map for encoding."""
-        return self.codewords()
+        """Precomputed symbol -> (codeword, length) map for encoding.
+
+        Built once per code and cached (the instance is frozen and the
+        table is derived purely from ``counts``/``values``).
+        """
+        cached = self.__dict__.get("_encoder_table")
+        if cached is None:
+            cached = self.codewords()
+            object.__setattr__(self, "_encoder_table", cached)
+        return cached
 
     def encode(self, writer: BitWriter, symbol: int) -> None:
-        code, length = self.codewords()[symbol]
+        code, length = self.encoder()[symbol]
         writer.write_bits(code, length)
 
     def decode(self, reader: BitReader) -> int:
@@ -133,6 +147,95 @@ class CanonicalCode:
                 return self.values[j + v - b]
             if i >= max_i:
                 raise ValueError("corrupt bitstream: ran past longest code")
+
+    # -- table-driven decode -------------------------------------------------
+    #
+    # The reference DECODE above pulls one bit per iteration; a real
+    # decoder peeks a K-bit chunk and resolves codewords of length <= K
+    # with one table lookup ("MIPS code compression" uses the same
+    # trick).  The table is an implementation detail: it decodes the
+    # same symbol and consumes the same number of bits as DECODE, so
+    # every modelled per-bit cost stays unchanged.
+
+    def decode_table(
+        self, table_bits: int | None = None
+    ) -> tuple[int, list[tuple[int, int] | None]]:
+        """The first-level lookup table, built lazily and cached.
+
+        Returns ``(K, table)`` where ``table[prefix]`` is
+        ``(symbol, length)`` for every K-bit *prefix* whose leading bits
+        form a codeword of length <= K, and ``None`` where the codeword
+        is longer than K (the overflow path handles those).
+        """
+        if table_bits is None:
+            table_bits = FAST_TABLE_BITS
+        k = max(1, min(table_bits, self.max_length))
+        tables = self.__dict__.get("_decode_tables")
+        if tables is None:
+            tables = {}
+            object.__setattr__(self, "_decode_tables", tables)
+        cached = tables.get(k)
+        if cached is None:
+            table: list[tuple[int, int] | None] = [None] * (1 << k)
+            firsts = self.first_codewords()
+            index = 0
+            for length in range(1, len(self.counts)):
+                base = firsts[length - 1]
+                for offset in range(self.counts[length]):
+                    symbol = self.values[index]
+                    index += 1
+                    if length > k:
+                        continue
+                    start = (base + offset) << (k - length)
+                    entry = (symbol, length)
+                    for prefix in range(start, start + (1 << (k - length))):
+                        table[prefix] = entry
+            cached = (k, table)
+            tables[k] = cached
+        return cached
+
+    def overflow_tables(self) -> tuple[list[int], list[int]]:
+        """``(firsts, leads)`` for decoding codewords longer than the
+        first-level table: ``firsts[L-1]`` is the first codeword of
+        length L, ``leads[L]`` the number of symbols with codewords
+        shorter than L (the paper's ``j``)."""
+        cached = self.__dict__.get("_overflow")
+        if cached is None:
+            firsts = self.first_codewords()
+            leads = [0] * (len(self.counts) + 1)
+            for length in range(1, len(self.counts) + 1):
+                leads[length] = leads[length - 1] + self.counts[length - 1]
+            cached = (firsts, leads)
+            object.__setattr__(self, "_overflow", cached)
+        return cached
+
+    def fast_decode(
+        self, reader: BitReader, table_bits: int | None = None
+    ) -> int:
+        """Table-driven decode: same symbol, same bits consumed as
+        :meth:`decode`, via ``peek_bits``/``skip_bits``."""
+        k, table = self.decode_table(table_bits)
+        entry = table[reader.peek_bits(k)]
+        if entry is not None:
+            symbol, length = entry
+            reader.skip_bits(length)
+            return symbol
+        # Overflow: the codeword is longer than K bits.  Extend the
+        # peek one length class at a time; canonical codes keep the
+        # length-L codewords in [firsts[L-1], firsts[L-1] + N[L]), and
+        # all shorter lengths were already ruled out by the table.
+        counts = self.counts
+        firsts, leads = self.overflow_tables()
+        for length in range(k + 1, len(counts)):
+            count = counts[length]
+            if not count:
+                continue
+            value = reader.peek_bits(length)
+            base = firsts[length - 1]
+            if value < base + count:
+                reader.skip_bits(length)
+                return self.values[leads[length] + value - base]
+        raise ValueError("corrupt bitstream: ran past longest code")
 
     # -- serialisation -------------------------------------------------------
 

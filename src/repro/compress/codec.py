@@ -18,8 +18,9 @@ remain independently decodable.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.compress.bitstream import BitReader, BitWriter
 from repro.compress.canonical import CanonicalCode
@@ -41,6 +42,15 @@ _COUNT_BITS = 16
 #: Coder identifiers stored in the serialized tables.
 _CODER_IDS = {"huffman": 0, "dict": 1}
 _CODER_CLASSES = {0: CanonicalCode, 1: DictionaryCode}
+
+#: Default for the table-driven decode path; ``REPRO_FAST_DECODE=0``
+#: falls back to the paper-verbatim bit-at-a-time DECODE everywhere.
+FAST_DECODE_DEFAULT = os.environ.get("REPRO_FAST_DECODE", "1").lower() not in (
+    "0",
+    "",
+    "no",
+    "off",
+)
 
 
 @dataclass(frozen=True)
@@ -74,6 +84,35 @@ class CompressedBlob:
     def total_words(self) -> int:
         """Words occupied by tables plus stream."""
         return len(self.table_words) + len(self.stream_words)
+
+
+def _decode_overflow(
+    acc: int, navail: int, k: int, overflow: tuple
+) -> tuple[int, int]:
+    """Resolve a codeword longer than the first-level table width.
+
+    ``acc`` holds ``navail`` upcoming bits; the table already ruled out
+    every length <= ``k``.  Canonical codes keep the length-L codewords
+    in ``[firsts[L-1], firsts[L-1] + N[L])``, so extend the peek one
+    length class at a time.
+    """
+    counts, firsts, leads, values, max_len = overflow
+    for length in range(k + 1, max_len + 1):
+        count = counts[length]
+        if not count:
+            continue
+        value = acc >> (navail - length)
+        base = firsts[length - 1]
+        if value < base + count:
+            return values[leads[length] + value - base], length
+    raise ValueError("corrupt bitstream: ran past longest code")
+
+
+def _require_tables(tables: dict, kind: FieldKind) -> tuple:
+    entry = tables.get(kind)
+    if entry is None:
+        raise ValueError(f"corrupt tables: no code for stream {kind.name}")
+    return entry
 
 
 def _value_bits(kind: FieldKind, mtf_alphabet_size: int | None) -> int:
@@ -251,36 +290,209 @@ class ProgramCodec:
 
     # -- decoding ----------------------------------------------------------
 
+    def decoders(
+        self, fast: bool | None = None
+    ) -> dict[FieldKind, Callable[[BitReader], int]]:
+        """Per-stream symbol-decode callables.
+
+        With *fast* (default: :data:`FAST_DECODE_DEFAULT`), canonical
+        Huffman streams use the table-driven
+        :meth:`~repro.compress.canonical.CanonicalCode.fast_decode`;
+        otherwise every stream uses its paper-verbatim ``decode``.  Both
+        decode the same symbols from the same bits, so the choice never
+        changes outputs or modelled costs.
+        """
+        if fast is None:
+            fast = FAST_DECODE_DEFAULT
+        table: dict[FieldKind, Callable[[BitReader], int]] = {}
+        for kind, code in self.codes.items():
+            if fast and isinstance(code, CanonicalCode):
+                table[kind] = code.fast_decode
+            else:
+                table[kind] = code.decode
+        return table
+
     def decode_region(
-        self, words: Sequence[int], bit_offset: int
+        self, words: Sequence[int], bit_offset: int, fast: bool | None = None
     ) -> tuple[list[CodecInstr], int]:
         """Decode one region starting at *bit_offset*.
 
         Stops after the sentinel.  Returns the decoded items (sentinel
         excluded) and the number of bits consumed -- the runtime charges
         decompression cost proportional to it.
+
+        With *fast* (default: :data:`FAST_DECODE_DEFAULT`) and the
+        canonical Huffman coder, decoding runs through a specialised
+        loop that keeps the bit window in locals and resolves codewords
+        by first-level table lookup; it decodes the same items from the
+        same bits as the generic loop below.
         """
+        if fast is None:
+            fast = FAST_DECODE_DEFAULT
+        if fast and self.coder == "huffman":
+            return self._decode_region_fast(words, bit_offset)
         reader = BitReader(words, bit_offset)
-        opcode_code = self.codes[FieldKind.OPCODE]
+        decoders = self.decoders(fast)
+        opcode_decode = decoders[FieldKind.OPCODE]
         transforms = {
             kind: MoveToFront(alphabet)
             for kind, alphabet in self.mtf_alphabets.items()
         }
         items: list[CodecInstr] = []
         while True:
-            opcode = opcode_code.decode(reader)
+            opcode = opcode_decode(reader)
             if opcode == OP_SENTINEL:
                 break
             values: list[int] = []
             for kind in codec_fields(opcode):
-                code = self.codes.get(kind)
-                if code is None:
+                decode = decoders.get(kind)
+                if decode is None:
                     raise ValueError(
                         f"corrupt tables: no code for stream {kind.name}"
                     )
-                value = code.decode(reader)
+                value = decode(reader)
                 if kind in transforms:
                     value = transforms[kind].decode_one(value)
                 values.append(value)
             items.append(CodecInstr(opcode=opcode, fields=tuple(values)))
         return items, reader.bit_pos - bit_offset
+
+    def _fast_tables(self) -> tuple[dict, dict, int]:
+        """Per-stream decode tables and per-opcode field plans.
+
+        Returns ``(tables, plans, window)``: ``tables[kind]`` is
+        ``(K, table, overflow)`` for that stream's canonical code
+        (``overflow`` being ``(counts, firsts, leads, values,
+        max_length)`` for codewords longer than K); ``plans[opcode]``
+        is the pre-resolved ``(kind, K, table, overflow)`` sequence of
+        that opcode's field streams; ``window`` is the largest codeword
+        length over all streams (how many bits the decode loop keeps
+        buffered).
+        """
+        cached = getattr(self, "_fast_decode_tables", None)
+        if cached is None:
+            tables = {}
+            window = 1
+            for kind, code in self.codes.items():
+                k, table = code.decode_table()
+                firsts, leads = code.overflow_tables()
+                overflow = (
+                    code.counts,
+                    firsts,
+                    leads,
+                    code.values,
+                    code.max_length,
+                )
+                tables[kind] = (k, table, overflow)
+                window = max(window, code.max_length)
+            plans: dict[int, tuple] = {}
+            cached = (tables, plans, window)
+            self._fast_decode_tables = cached
+        return cached
+
+    def _decode_region_fast(
+        self, words: Sequence[int], bit_offset: int
+    ) -> tuple[list[CodecInstr], int]:
+        """Table-driven region decode with the bit window in locals.
+
+        Decodes exactly the items (and consumes exactly the bits) of
+        the generic loop in :meth:`decode_region`; only the mechanics
+        differ -- a K-bit prefix lookup per symbol instead of the
+        bit-at-a-time DECODE, and zero-padded whole-word refills with a
+        hard end-of-stream check wherever padding may have been
+        consumed.
+        """
+        tables, plans, window = self._fast_tables()
+        opcode_tables = tables.get(FieldKind.OPCODE)
+        if opcode_tables is None:
+            raise ValueError("corrupt tables: no code for stream OPCODE")
+        op_k, op_table, op_overflow = opcode_tables
+        transforms = {
+            kind: MoveToFront(alphabet)
+            for kind, alphabet in self.mtf_alphabets.items()
+        }
+        nwords = len(words)
+        hard_limit = nwords * 32
+        new_instr = CodecInstr.__new__
+        instr_cls = CodecInstr
+        set_attr = object.__setattr__
+        # The window: `acc` holds exactly `navail` upcoming bits;
+        # `wi` counts words pulled in, including virtual zero-pad words
+        # past the end (the hard-limit check rejects symbols that would
+        # consume padding, which is only possible once `wi` passes the
+        # real word count).
+        word_index, bit_index = divmod(bit_offset, 32)
+        acc = 0
+        navail = 0
+        wi = word_index
+        if bit_index:
+            word = words[wi] if wi < nwords else 0
+            acc = word & ((1 << (32 - bit_index)) - 1)
+            navail = 32 - bit_index
+            wi += 1
+
+        items: list[CodecInstr] = []
+        while True:
+            while navail < window:
+                acc <<= 32
+                if wi < nwords:
+                    acc |= words[wi]
+                wi += 1
+                navail += 32
+
+            entry = op_table[acc >> (navail - op_k)]
+            if entry is not None:
+                opcode, length = entry
+            else:
+                opcode, length = _decode_overflow(
+                    acc, navail, op_k, op_overflow
+                )
+            navail -= length
+            acc &= (1 << navail) - 1
+            if wi > nwords and wi * 32 - navail > hard_limit:
+                raise EOFError(
+                    f"bit position {hard_limit} past end of stream"
+                )
+            if opcode == OP_SENTINEL:
+                break
+
+            plan = plans.get(opcode)
+            if plan is None:
+                plan = plans[opcode] = tuple(
+                    (kind, *_require_tables(tables, kind))
+                    for kind in codec_fields(opcode)
+                )
+            values_out: list[int] = []
+            for kind, k, table, overflow in plan:
+                while navail < window:
+                    acc <<= 32
+                    if wi < nwords:
+                        acc |= words[wi]
+                    wi += 1
+                    navail += 32
+                entry = table[acc >> (navail - k)]
+                if entry is not None:
+                    symbol, length = entry
+                else:
+                    symbol, length = _decode_overflow(
+                        acc, navail, k, overflow
+                    )
+                navail -= length
+                acc &= (1 << navail) - 1
+                if wi > nwords and wi * 32 - navail > hard_limit:
+                    raise EOFError(
+                        f"bit position {hard_limit} past end of stream"
+                    )
+                if transforms:
+                    transform = transforms.get(kind)
+                    if transform is not None:
+                        symbol = transform.decode_one(symbol)
+                values_out.append(symbol)
+            # CodecInstr.__init__ only re-validates the field count
+            # against the opcode's layout, which holds by construction
+            # here (the plan came from codec_fields); build directly.
+            item = new_instr(instr_cls)
+            set_attr(item, "opcode", opcode)
+            set_attr(item, "fields", tuple(values_out))
+            items.append(item)
+        return items, wi * 32 - navail - bit_offset

@@ -86,10 +86,16 @@ class SquashResult:
     def make_machine(
         self,
         input_words: list[int] | tuple[int, ...] = (),
+        region_cache: bool | None = None,
         **machine_kwargs,
     ) -> tuple[Machine, SquashRuntime]:
-        """A fresh machine + runtime pair for this image."""
-        runtime = SquashRuntime(self.descriptor)
+        """A fresh machine + runtime pair for this image.
+
+        *region_cache* overrides the cross-runtime region decode cache
+        (None: the environment default).  The cache only skips host-side
+        bit work; modelled cycles are identical either way.
+        """
+        runtime = SquashRuntime(self.descriptor, region_cache=region_cache)
         machine = Machine(
             self.image,
             input_words=input_words,
@@ -102,9 +108,12 @@ class SquashResult:
         self,
         input_words: list[int] | tuple[int, ...] = (),
         max_steps: int = 100_000_000,
+        region_cache: bool | None = None,
     ):
         """Convenience: run the squashed program on *input_words*."""
-        machine, runtime = self.make_machine(input_words)
+        machine, runtime = self.make_machine(
+            input_words, region_cache=region_cache
+        )
         result = machine.run(max_steps=max_steps)
         return result, runtime
 

@@ -23,8 +23,12 @@ number of instructions materialised, plus fixed invocation overhead.
 
 from __future__ import annotations
 
+import hashlib
+import os
+from array import array
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.compress.codec import ProgramCodec
 from repro.compress.streams import (
@@ -51,11 +55,52 @@ __all__ = [
     "SquashRuntime",
     "RuntimeStats",
     "StubAreaOverflow",
+    "clear_region_decode_cache",
+    "region_decode_cache_info",
 ]
 
 
 class StubAreaOverflow(Exception):
     """The reserved restore-stub area ran out of slots."""
+
+
+#: Default for the cross-runtime region decode cache;
+#: ``REPRO_REGION_CACHE=0`` disables it.
+REGION_CACHE_DEFAULT = os.environ.get(
+    "REPRO_REGION_CACHE", "1"
+).lower() not in ("0", "", "no", "off")
+
+#: Entries kept in the region decode cache before the oldest is evicted.
+REGION_CACHE_MAX_ENTRIES = 4096
+
+# Decoded regions shared across SquashRuntime instances (and hence
+# across repeated runs of the same squashed image): (blob digest, bit
+# offset) -> (decoded items, bits consumed).  This skips host-side
+# bit-level work only; the *guest* is still charged the full modelled
+# per-bit/per-instruction decode cost from the stored bit count, so
+# cycle numbers are identical with the cache on or off.
+_REGION_DECODE_CACHE: "OrderedDict[tuple[bytes, int], tuple[tuple, int]]" = (
+    OrderedDict()
+)
+_REGION_CACHE_HITS = 0
+_REGION_CACHE_MISSES = 0
+
+
+def clear_region_decode_cache() -> None:
+    """Drop every entry of the cross-runtime region decode cache."""
+    global _REGION_CACHE_HITS, _REGION_CACHE_MISSES
+    _REGION_DECODE_CACHE.clear()
+    _REGION_CACHE_HITS = 0
+    _REGION_CACHE_MISSES = 0
+
+
+def region_decode_cache_info() -> dict[str, int]:
+    """Counters of the cross-runtime region decode cache."""
+    return {
+        "entries": len(_REGION_DECODE_CACHE),
+        "hits": _REGION_CACHE_HITS,
+        "misses": _REGION_CACHE_MISSES,
+    }
 
 
 @dataclass
@@ -100,7 +145,11 @@ class SquashRuntime:
     buffered, the live restore stubs, and all statistics.
     """
 
-    def __init__(self, descriptor: SquashDescriptor):
+    def __init__(
+        self,
+        descriptor: SquashDescriptor,
+        region_cache: bool | None = None,
+    ):
         self.desc = descriptor
         self.stats = RuntimeStats()
         self.current_region: int | None = None
@@ -110,6 +159,10 @@ class SquashRuntime:
         self._slot_key: dict[int, tuple[int, int]] = {}
         self._free_slots = list(range(descriptor.stub_capacity))
         self._expanded_cache: dict[int, tuple[list[int], int]] = {}
+        self._region_cache_enabled = (
+            REGION_CACHE_DEFAULT if region_cache is None else bool(region_cache)
+        )
+        self._blob_digest: bytes | None = None
 
     def services(self) -> dict[int, Callable[[Machine], None]]:
         """Trap handlers for every decompressor entry point."""
@@ -252,8 +305,7 @@ class SquashRuntime:
             bit_offset = machine.read_word(
                 desc.offset_table_addr + region_index
             )
-            stream = _MemWords(machine, desc.stream_addr, desc.stream_words)
-            items, bits = codec.decode_region(stream, bit_offset)
+            items, bits = self._decode_region(machine, codec, bit_offset)
             words = self._expand(items, region.base)
             if len(words) + 1 != region.expanded_size:
                 raise AssertionError(
@@ -285,7 +337,64 @@ class SquashRuntime:
         else:
             self.current_region = region_index
 
-    def _expand(self, items: list[CodecInstr], base: int) -> list[int]:
+    def _decode_region(
+        self, machine: Machine, codec: ProgramCodec, bit_offset: int
+    ) -> tuple[tuple, int]:
+        """Decode the compressed region at *bit_offset*, going through
+        the cross-runtime decode cache when enabled.
+
+        The cache is keyed by (blob digest, bit offset): the digest
+        covers the serialised tables *and* the whole compressed stream,
+        so two images share an entry only when their compressed bytes
+        are identical -- in which case the decoded items are too.  The
+        returned bit count always equals what a real decode would have
+        measured, so cost charging is unaffected.
+        """
+        global _REGION_CACHE_HITS, _REGION_CACHE_MISSES
+        desc = self.desc
+        if not self._region_cache_enabled:
+            stream = _MemWords(machine, desc.stream_addr, desc.stream_words)
+            items, bits = codec.decode_region(stream, bit_offset)
+            return tuple(items), bits
+        key = (self._blob_fingerprint(machine), bit_offset)
+        cached = _REGION_DECODE_CACHE.get(key)
+        if cached is not None:
+            _REGION_DECODE_CACHE.move_to_end(key)
+            _REGION_CACHE_HITS += 1
+            return cached
+        _REGION_CACHE_MISSES += 1
+        stream = _MemWords(machine, desc.stream_addr, desc.stream_words)
+        items, bits = codec.decode_region(stream, bit_offset)
+        entry = (tuple(items), bits)
+        _REGION_DECODE_CACHE[key] = entry
+        while len(_REGION_DECODE_CACHE) > REGION_CACHE_MAX_ENTRIES:
+            _REGION_DECODE_CACHE.popitem(last=False)
+        return entry
+
+    def _blob_fingerprint(self, machine: Machine) -> bytes:
+        if self._blob_digest is None:
+            desc = self.desc
+            mem = machine.mem
+            digest = hashlib.sha256()
+            digest.update(
+                array(
+                    "I",
+                    mem[desc.table_addr : desc.table_addr + desc.table_words],
+                ).tobytes()
+            )
+            digest.update(
+                array(
+                    "I",
+                    mem[
+                        desc.stream_addr : desc.stream_addr
+                        + desc.stream_words
+                    ],
+                ).tobytes()
+            )
+            self._blob_digest = digest.digest()
+        return self._blob_digest
+
+    def _expand(self, items: Sequence[CodecInstr], base: int) -> list[int]:
         """Materialise decoded items, expanding XCALL pseudo-ops into
         the two-instruction sequences of Figure 2."""
         desc = self.desc
