@@ -6,6 +6,9 @@ Usage::
     python -m repro fig6 --scale 0.5
     python -m repro fig7b --names adpcm gsm
     python -m repro squash gsm --theta 0.01 --run
+    python -m repro squash gsm --save /tmp/gsm
+    python -m repro verify /tmp/gsm
+    python -m repro faultsweep --names adpcm --faults 500 --seed 1
     python -m repro all
 """
 
@@ -181,12 +184,42 @@ def _cmd_squash(args) -> None:
           f"entry stubs {result.info.entry_stub_count}, "
           f"xcall sites {result.info.xcall_sites}, "
           f"gamma {result.info.gamma_measured:.2f}")
+    if args.save:
+        image_path, meta_path = result.save(args.save)
+        print(f"  saved {image_path} + {meta_path}")
     if args.run:
         base = baseline_run(name, args.scale)
         run = squashed_run(name, args.scale, config)
         ok = run.output == base.output
         print(f"  timing run: {run.cycles / base.cycles:.3f}x relative "
               f"time, outputs {'match' if ok else 'DIVERGE'}")
+
+
+def _cmd_verify(args) -> int:
+    from repro.core.verify import verify_squashed
+
+    if not args.prefix:
+        print("verify: missing image prefix (repro verify <prefix>)")
+        return 2
+    report = verify_squashed(args.prefix)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_faultsweep(args) -> int:
+    from repro.faultinject import sweep_program
+
+    code = 0
+    for name in args.names:
+        report = sweep_program(
+            name, args.scale, faults=args.faults, seed=args.seed,
+            theta=args.theta, bound=args.bound,
+        )
+        print(f"{name}:")
+        print(report.render())
+        if not report.ok:
+            code = 1
+    return code
 
 
 _COMMANDS = {
@@ -200,6 +233,8 @@ _COMMANDS = {
     "ratio": _cmd_ratio,
     "safe": _cmd_safe,
     "squash": _cmd_squash,
+    "verify": _cmd_verify,
+    "faultsweep": _cmd_faultsweep,
 }
 
 
@@ -213,6 +248,10 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[*_COMMANDS, "all"],
         help="experiment to regenerate",
+    )
+    parser.add_argument(
+        "prefix", nargs="?", default=None,
+        help="saved-image prefix (verify command)",
     )
     parser.add_argument(
         "--names", nargs="*", default=list(MEDIABENCH),
@@ -234,18 +273,33 @@ def main(argv: list[str] | None = None) -> int:
         "--run", action="store_true",
         help="also execute the squashed image (squash command)",
     )
+    parser.add_argument(
+        "--save", default=None, metavar="PREFIX",
+        help="save the squashed image to PREFIX.img/.json "
+        "(squash command)",
+    )
+    parser.add_argument(
+        "--faults", type=int, default=100,
+        help="faults to inject per benchmark (faultsweep command)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-injection RNG seed (faultsweep command)",
+    )
     args = parser.parse_args(argv)
     args.names = tuple(args.names)
 
+    code = 0
     try:
         if args.command == "all":
             for name, command in _COMMANDS.items():
-                if name == "squash":
+                # Sub-commands needing extra arguments don't batch.
+                if name in ("squash", "verify", "faultsweep"):
                     continue
                 command(args)
                 print()
         else:
-            _COMMANDS[args.command](args)
+            code = _COMMANDS[args.command](args) or 0
     except BrokenPipeError:  # e.g. `repro fig6 | head`
         import os
 
@@ -254,7 +308,7 @@ def main(argv: list[str] | None = None) -> int:
         except Exception:
             pass
         os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
-    return 0
+    return code
 
 
 if __name__ == "__main__":

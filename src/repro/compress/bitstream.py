@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.errors import TruncatedStreamError
+
 WORD_BITS = 32
 
 
@@ -90,6 +92,12 @@ class BitReader:
     returns upcoming bits without consuming them (zero-padded past the
     end of the stream) through a cached multi-word window, which is what
     makes table-driven Huffman decoding fast.
+
+    Zero-padding is a *lookahead* convenience only: any attempt to
+    consume bits past the end of the stream -- ``read_bit``,
+    ``read_bits``, or ``skip_bits`` -- raises
+    :class:`~repro.errors.TruncatedStreamError`, so a truncated
+    compressed blob can never silently decode as trailing zeros.
     """
 
     #: Words held in the peek window; bounds the largest peek at
@@ -150,7 +158,9 @@ class BitReader:
         if total is None:
             total = self._total_bits = len(self._words) * WORD_BITS
         if pos > total:
-            raise EOFError(f"bit position {pos} past end of stream")
+            raise TruncatedStreamError(
+                f"bit position {pos} past end of stream", bit_offset=pos
+            )
         self._pos = pos
 
     def read_bit(self) -> int:
@@ -159,7 +169,9 @@ class BitReader:
         try:
             word = self._words[word_index]
         except IndexError:
-            raise EOFError(f"bit position {pos} past end of stream") from None
+            raise TruncatedStreamError(
+                f"bit position {pos} past end of stream", bit_offset=pos
+            ) from None
         self._pos = pos + 1
         return (word >> (WORD_BITS - 1 - bit_index)) & 1
 
@@ -173,8 +185,9 @@ class BitReader:
             try:
                 word = self._words[word_index]
             except IndexError:
-                raise EOFError(
-                    f"bit position {self._pos} past end of stream"
+                raise TruncatedStreamError(
+                    f"bit position {self._pos} past end of stream",
+                    bit_offset=self._pos,
                 ) from None
             chunk = (word >> (WORD_BITS - bit_index - take)) & ((1 << take) - 1)
             value = (value << take) | chunk

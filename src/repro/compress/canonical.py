@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.compress.bitstream import BitReader, BitWriter
 from repro.compress.huffman import huffman_code_lengths
+from repro.errors import CodecTableError, CorruptBlobError
 
 #: Hard cap on codeword length accepted by the (de)serialised tables.
 MAX_CODE_LENGTH = 40
@@ -146,7 +147,10 @@ class CanonicalCode:
             if v < b + counts[i]:
                 return self.values[j + v - b]
             if i >= max_i:
-                raise ValueError("corrupt bitstream: ran past longest code")
+                raise CorruptBlobError(
+                    "corrupt bitstream: ran past longest code",
+                    bit_offset=reader.bit_pos,
+                )
 
     # -- table-driven decode -------------------------------------------------
     #
@@ -235,7 +239,10 @@ class CanonicalCode:
             if value < base + count:
                 reader.skip_bits(length)
                 return self.values[leads[length] + value - base]
-        raise ValueError("corrupt bitstream: ran past longest code")
+        raise CorruptBlobError(
+            "corrupt bitstream: ran past longest code",
+            bit_offset=reader.bit_pos,
+        )
 
     # -- serialisation -------------------------------------------------------
 
@@ -257,12 +264,29 @@ class CanonicalCode:
 
     @classmethod
     def deserialise(cls, reader: BitReader, value_bits: int) -> "CanonicalCode":
-        """Inverse of :meth:`serialise`."""
+        """Inverse of :meth:`serialise`.
+
+        Structurally invalid tables (over-long codes, N[]/D mismatches,
+        Kraft violations) raise :class:`~repro.errors.CodecTableError`.
+        """
         max_length = reader.read_bits(6)
+        if max_length == 0 or max_length > MAX_CODE_LENGTH:
+            raise CodecTableError(
+                f"corrupt tables: codeword length {max_length} outside "
+                f"[1, {MAX_CODE_LENGTH}]",
+                bit_offset=reader.bit_pos,
+            )
         counts = [0] + [reader.read_bits(16) for _ in range(max_length)]
         total = sum(counts)
         values = tuple(reader.read_bits(value_bits) for _ in range(total))
-        return cls(counts=tuple(counts), values=values)
+        try:
+            return cls(counts=tuple(counts), values=values)
+        except CodecTableError:
+            raise
+        except ValueError as exc:
+            raise CodecTableError(
+                f"corrupt tables: {exc}", bit_offset=reader.bit_pos
+            ) from exc
 
     def serialised_bits(self, value_bits: int) -> int:
         """Exact size of the serialised tables, in bits."""

@@ -25,6 +25,11 @@ from typing import Callable, Sequence
 from repro.compress.bitstream import BitReader, BitWriter
 from repro.compress.canonical import CanonicalCode
 from repro.compress.dictionary import DictionaryCode
+from repro.errors import (
+    CodecTableError,
+    CorruptBlobError,
+    TruncatedStreamError,
+)
 from repro.compress.mtf import MoveToFront
 from repro.compress.streams import (
     CodecInstr,
@@ -105,13 +110,15 @@ def _decode_overflow(
         base = firsts[length - 1]
         if value < base + count:
             return values[leads[length] + value - base], length
-    raise ValueError("corrupt bitstream: ran past longest code")
+    raise CorruptBlobError("corrupt bitstream: ran past longest code")
 
 
 def _require_tables(tables: dict, kind: FieldKind) -> tuple:
     entry = tables.get(kind)
     if entry is None:
-        raise ValueError(f"corrupt tables: no code for stream {kind.name}")
+        raise CodecTableError(
+            f"corrupt tables: no code for stream {kind.name}"
+        )
     return entry
 
 
@@ -268,11 +275,21 @@ class ProgramCodec:
         reader = BitReader(words)
         count = reader.read_bits(_KIND_BITS)
         coder_id = reader.read_bits(2)
-        code_class = _CODER_CLASSES[coder_id]
+        code_class = _CODER_CLASSES.get(coder_id)
+        if code_class is None:
+            raise CodecTableError(
+                f"corrupt tables: unknown coder id {coder_id}",
+                bit_offset=reader.bit_pos,
+            )
         codes: dict[FieldKind, CanonicalCode | DictionaryCode] = {}
         alphabets: dict[FieldKind, tuple[int, ...]] = {}
         for _ in range(count):
-            kind = FieldKind(reader.read_bits(_KIND_BITS))
+            try:
+                kind = FieldKind(reader.read_bits(_KIND_BITS))
+            except ValueError as exc:
+                raise CodecTableError(
+                    f"corrupt tables: {exc}", bit_offset=reader.bit_pos
+                ) from exc
             has_mtf = reader.read_bits(1)
             if has_mtf:
                 size = reader.read_bits(_COUNT_BITS)
@@ -347,7 +364,7 @@ class ProgramCodec:
             for kind in codec_fields(opcode):
                 decode = decoders.get(kind)
                 if decode is None:
-                    raise ValueError(
+                    raise CodecTableError(
                         f"corrupt tables: no code for stream {kind.name}"
                     )
                 value = decode(reader)
@@ -405,7 +422,7 @@ class ProgramCodec:
         tables, plans, window = self._fast_tables()
         opcode_tables = tables.get(FieldKind.OPCODE)
         if opcode_tables is None:
-            raise ValueError("corrupt tables: no code for stream OPCODE")
+            raise CodecTableError("corrupt tables: no code for stream OPCODE")
         op_k, op_table, op_overflow = opcode_tables
         transforms = {
             kind: MoveToFront(alphabet)
@@ -450,8 +467,9 @@ class ProgramCodec:
             navail -= length
             acc &= (1 << navail) - 1
             if wi > nwords and wi * 32 - navail > hard_limit:
-                raise EOFError(
-                    f"bit position {hard_limit} past end of stream"
+                raise TruncatedStreamError(
+                    f"bit position {hard_limit} past end of stream",
+                    bit_offset=hard_limit,
                 )
             if opcode == OP_SENTINEL:
                 break
@@ -480,8 +498,9 @@ class ProgramCodec:
                 navail -= length
                 acc &= (1 << navail) - 1
                 if wi > nwords and wi * 32 - navail > hard_limit:
-                    raise EOFError(
-                        f"bit position {hard_limit} past end of stream"
+                    raise TruncatedStreamError(
+                        f"bit position {hard_limit} past end of stream",
+                        bit_offset=hard_limit,
                     )
                 if transforms:
                     transform = transforms.get(kind)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compress.bitstream import BitReader, BitWriter
+from repro.errors import CodecTableError, CorruptBlobError
 
 #: Largest index width considered.
 _MAX_WIDTH = 10
@@ -90,8 +91,9 @@ class DictionaryCode:
         try:
             return self.values[index]
         except IndexError:
-            raise ValueError(
-                f"corrupt stream: dictionary index {index} out of range"
+            raise CorruptBlobError(
+                f"corrupt stream: dictionary index {index} out of range",
+                bit_offset=reader.bit_pos,
             ) from None
 
     # -- serialisation -------------------------------------------------------
@@ -111,7 +113,12 @@ class DictionaryCode:
         width = reader.read_bits(4)
         count = reader.read_bits(16)
         values = tuple(reader.read_bits(value_bits) for _ in range(count))
-        return cls(width=width, values=values, value_bits=value_bits)
+        try:
+            return cls(width=width, values=values, value_bits=value_bits)
+        except ValueError as exc:
+            raise CodecTableError(
+                f"corrupt tables: {exc}", bit_offset=reader.bit_pos
+            ) from exc
 
     def serialised_bits(self, value_bits: int) -> int:
         return 4 + 16 + value_bits * len(self.values)

@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.core.costmodel import CostModel
+from repro.core.integrity import ImageIntegrity, RegionIntegrity
 
 
 class BufferStrategy(enum.Enum):
@@ -113,6 +114,9 @@ class SquashDescriptor:
     #: Whether the decompressor skips decoding when the requested region
     #: is already buffered.
     buffer_caching: bool = True
+    #: CRC32 checksums over the trusted areas (None for images produced
+    #: before the integrity format, which then run unchecked).
+    integrity: ImageIntegrity | None = None
 
     #: Words of one runtime restore stub: call, tag, usage count, key.
     RESTORE_STUB_WORDS = 4
@@ -172,4 +176,11 @@ def descriptor_from_dict(data: dict) -> SquashDescriptor:
     data["compile_time_stubs"] = [
         CompileTimeStubInfo(**stub) for stub in data["compile_time_stubs"]
     ]
+    integrity = data.get("integrity")
+    if integrity is not None:
+        integrity = dict(integrity)
+        integrity["regions"] = [
+            RegionIntegrity(**region) for region in integrity["regions"]
+        ]
+        data["integrity"] = ImageIntegrity(**integrity)
     return SquashDescriptor(**data)

@@ -1,0 +1,178 @@
+"""CRC32 integrity metadata over the compressed areas of an image.
+
+A squashed image carries three areas the runtime decompressor trusts
+blindly: the serialized codec tables, the merged compressed stream, and
+the function offset table.  This module computes (at rewrite time) and
+re-checks (at load time and before every first decode of a region) CRC32
+checksums over each of them, plus one per region over the exact bit
+range the region occupies in the stream -- so a single flipped bit
+anywhere in the compressed image is *detected* before the decoder can
+materialise wrong instructions into the buffer.
+
+The metadata travels with the :class:`~repro.core.descriptor.
+SquashDescriptor` (it is the squashed executable's header) and survives
+``save``/``load_squashed`` via the descriptor JSON.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import Sequence
+from zlib import crc32
+
+from repro.errors import CorruptBlobError, OffsetTableError
+
+__all__ = [
+    "RegionIntegrity",
+    "ImageIntegrity",
+    "words_crc",
+    "bit_range_crc",
+    "blob_integrity",
+    "check_offset_table",
+    "check_area_crc",
+]
+
+
+def words_crc(words: Sequence[int]) -> int:
+    """CRC32 over a 32-bit word sequence (little-endian byte order)."""
+    return crc32(array("I", [w & 0xFFFFFFFF for w in words]).tobytes())
+
+
+def bit_range_crc(words: Sequence[int], start_bit: int, end_bit: int) -> int:
+    """CRC32 over the MSB-first bit range ``[start_bit, end_bit)``.
+
+    *words* may be any word-indexable source (a list, or the runtime's
+    view of machine memory); a trailing partial byte is left-aligned.
+    """
+    if not 0 <= start_bit <= end_bit:
+        raise ValueError(f"bad bit range [{start_bit}, {end_bit})")
+    out = bytearray()
+    pos = start_bit
+    remaining = end_bit - start_bit
+    while remaining >= 8:
+        take = min(remaining, 32) & ~7  # whole bytes, at most one word
+        out.extend(_read_bits(words, pos, take).to_bytes(take // 8, "big"))
+        pos += take
+        remaining -= take
+    if remaining:
+        out.append(_read_bits(words, pos, remaining) << (8 - remaining))
+    return crc32(bytes(out))
+
+
+def _read_bits(words: Sequence[int], pos: int, nbits: int) -> int:
+    """Read *nbits* MSB-first at absolute bit position *pos*."""
+    value = 0
+    while nbits > 0:
+        word_index, bit_index = divmod(pos, 32)
+        take = min(nbits, 32 - bit_index)
+        word = words[word_index]
+        value = (value << take) | (
+            (word >> (32 - bit_index - take)) & ((1 << take) - 1)
+        )
+        pos += take
+        nbits -= take
+    return value
+
+
+@dataclass
+class RegionIntegrity:
+    """Checksum of one region's exact bit range in the stream."""
+
+    start_bit: int
+    end_bit: int
+    crc: int
+
+
+@dataclass
+class ImageIntegrity:
+    """Checksums over every trusted area of a squashed image."""
+
+    table_crc: int
+    stream_crc: int
+    offset_table_crc: int
+    table_bits: int
+    stream_bits: int
+    regions: list[RegionIntegrity] = field(default_factory=list)
+
+
+def blob_integrity(blob) -> ImageIntegrity:
+    """Integrity metadata for a :class:`~repro.compress.codec.
+    CompressedBlob` (computed once, at rewrite time)."""
+    offsets = blob.region_bit_offsets
+    regions = []
+    for index, start in enumerate(offsets):
+        end = (
+            offsets[index + 1]
+            if index + 1 < len(offsets)
+            else blob.stream_bits
+        )
+        regions.append(
+            RegionIntegrity(
+                start_bit=start,
+                end_bit=end,
+                crc=bit_range_crc(blob.stream_words, start, end),
+            )
+        )
+    return ImageIntegrity(
+        table_crc=words_crc(blob.table_words),
+        stream_crc=words_crc(blob.stream_words),
+        offset_table_crc=words_crc(offsets),
+        table_bits=blob.table_bits,
+        stream_bits=blob.stream_bits,
+        regions=regions,
+    )
+
+
+def check_offset_table(
+    offsets: Sequence[int],
+    stream_bits: int,
+    integrity: ImageIntegrity | None = None,
+    fingerprint: str | None = None,
+) -> None:
+    """Validate the in-image function offset table.
+
+    Offsets must be strictly increasing (every region ends with at
+    least a one-bit sentinel) and in ``[0, stream_bits)``; with
+    *integrity*, the table must also match its stored CRC.
+    """
+    previous = -1
+    for index, offset in enumerate(offsets):
+        if offset <= previous:
+            raise OffsetTableError(
+                f"offset table not monotonic at entry {index}: "
+                f"{offset} after {previous}",
+                region=index,
+                bit_offset=offset,
+                fingerprint=fingerprint,
+            )
+        if not 0 <= offset < max(stream_bits, 1):
+            raise OffsetTableError(
+                f"offset table entry {index} = {offset} outside the "
+                f"{stream_bits}-bit stream",
+                region=index,
+                bit_offset=offset,
+                fingerprint=fingerprint,
+            )
+        previous = offset
+    if integrity is not None and words_crc(offsets) != integrity.offset_table_crc:
+        raise OffsetTableError(
+            "offset table CRC mismatch", fingerprint=fingerprint
+        )
+
+
+def check_area_crc(
+    words: Sequence[int],
+    expected: int,
+    what: str,
+    error_cls: type = CorruptBlobError,
+    fingerprint: str | None = None,
+) -> None:
+    """Raise *error_cls* unless CRC32(words) equals *expected*."""
+    actual = words_crc(words)
+    if actual != expected:
+        raise error_cls(
+            f"{what} CRC mismatch: stored {expected:#010x}, "
+            f"computed {actual:#010x}",
+            fingerprint=fingerprint,
+        )

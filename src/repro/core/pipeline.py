@@ -160,8 +160,16 @@ class LoadedSquash:
         return machine, runtime
 
 
-def load_squashed(prefix) -> LoadedSquash:
-    """Load a squashed executable saved by :meth:`SquashResult.save`."""
+def load_squashed(prefix, verify: bool = True) -> LoadedSquash:
+    """Load a squashed executable saved by :meth:`SquashResult.save`.
+
+    With *verify* (the default) the image's integrity checksums --
+    codec tables, function offset table, compressed stream -- are
+    checked before the pair is returned, so corruption surfaces at load
+    time as a :class:`~repro.errors.SquashError` rather than during
+    execution.  ``verify=False`` skips the checks (the runtime still
+    verifies on first decompression).
+    """
     import json
     import pathlib
 
@@ -173,6 +181,10 @@ def load_squashed(prefix) -> LoadedSquash:
     descriptor = descriptor_from_dict(
         json.loads(prefix.with_suffix(".json").read_text())
     )
+    if verify:
+        from repro.core.verify import check_image_integrity
+
+        check_image_integrity(image, descriptor)
     return LoadedSquash(image=image, descriptor=descriptor)
 
 

@@ -46,6 +46,7 @@ from repro.core.descriptor import (
     RestoreStubScheme,
     SquashDescriptor,
 )
+from repro.core.integrity import blob_integrity
 from repro.core.regions import (
     Region,
     RegionContext,
@@ -846,6 +847,7 @@ def _emit(
         entry_stubs=list(layout.entry_stubs),
         compile_time_stubs=list(layout.ct_stub_infos),
         buffer_caching=config.buffer_caching,
+        integrity=blob_integrity(blob),
     )
     return image, descriptor
 

@@ -29,6 +29,7 @@ from array import array
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
+from zlib import crc32
 
 from repro.compress.codec import ProgramCodec
 from repro.compress.streams import (
@@ -41,6 +42,20 @@ from repro.core.descriptor import (
     BufferStrategy,
     RestoreStubScheme,
     SquashDescriptor,
+)
+from repro.core.integrity import (
+    bit_range_crc,
+    check_area_crc,
+    check_offset_table,
+)
+from repro.errors import (
+    BufferOverrunError,
+    CodecTableError,
+    CorruptBlobError,
+    OffsetTableError,
+    SquashError,
+    StubAreaOverflow,
+    TruncatedStreamError,
 )
 from repro.isa.encoding import encode
 from repro.isa.fields import FieldKind, from_bits
@@ -60,10 +75,6 @@ __all__ = [
 ]
 
 
-class StubAreaOverflow(Exception):
-    """The reserved restore-stub area ran out of slots."""
-
-
 #: Default for the cross-runtime region decode cache;
 #: ``REPRO_REGION_CACHE=0`` disables it.
 REGION_CACHE_DEFAULT = os.environ.get(
@@ -75,15 +86,27 @@ REGION_CACHE_MAX_ENTRIES = 4096
 
 # Decoded regions shared across SquashRuntime instances (and hence
 # across repeated runs of the same squashed image): (blob digest, bit
-# offset) -> (decoded items, bits consumed).  This skips host-side
+# offset) -> (decoded items, bits consumed, seal).  This skips host-side
 # bit-level work only; the *guest* is still charged the full modelled
 # per-bit/per-instruction decode cost from the stored bit count, so
-# cycle numbers are identical with the cache on or off.
-_REGION_DECODE_CACHE: "OrderedDict[tuple[bytes, int], tuple[tuple, int]]" = (
-    OrderedDict()
-)
+# cycle numbers are identical with the cache on or off.  The seal is a
+# CRC over the entry contents: a poisoned entry (mutated after being
+# cached) fails the seal on hit and is re-decoded from the blob instead
+# of being executed.
+_REGION_DECODE_CACHE: (
+    "OrderedDict[tuple[bytes, int], tuple[tuple, int, int]]"
+) = OrderedDict()
 _REGION_CACHE_HITS = 0
 _REGION_CACHE_MISSES = 0
+
+
+def _entry_seal(items: tuple, bits: int) -> int:
+    """Integrity seal of one region decode cache entry.
+
+    ``repr`` of the (frozen-dataclass) item tuple is deterministic, so
+    any in-place mutation of a cached entry changes the seal.
+    """
+    return crc32(repr((items, bits)).encode())
 
 
 def clear_region_decode_cache() -> None:
@@ -118,6 +141,10 @@ class RuntimeStats:
     bits_decoded: int = 0
     instrs_materialised: int = 0
     decomp_cycles: int = 0
+    #: Stale zero-refcount stubs reclaimed on StubAreaOverflow recovery.
+    stub_reclaims: int = 0
+    #: Cross-runtime cache entries rejected by their integrity seal.
+    cache_rejects: int = 0
 
 
 class _MemWords:
@@ -163,6 +190,7 @@ class SquashRuntime:
             REGION_CACHE_DEFAULT if region_cache is None else bool(region_cache)
         )
         self._blob_digest: bytes | None = None
+        self._image_verified = False
 
     def services(self) -> dict[int, Callable[[Machine], None]]:
         """Trap handlers for every decompressor entry point."""
@@ -203,9 +231,10 @@ class SquashRuntime:
         key = (self.current_region, offset)
         slot = self._live_stubs.get(key)
         if slot is None:
-            if not self._free_slots:
+            if not self._free_slots and not self._reclaim_stubs(machine):
                 raise StubAreaOverflow(
-                    f"no free restore-stub slots for call site {key}"
+                    f"no free restore-stub slots for call site {key}",
+                    region=self.current_region,
                 )
             slot = min(self._free_slots)
             self._free_slots.remove(slot)
@@ -246,6 +275,23 @@ class SquashRuntime:
             + slot * SquashDescriptor.RESTORE_STUB_WORDS
         )
 
+    def _reclaim_stubs(self, machine: Machine) -> int:
+        """Graceful degradation on stub-area pressure: free any stub
+        whose in-memory usage count is zero but whose slot is still
+        marked live (a count word clobbered to zero, or a release that
+        never went through the stub itself).  Returns slots freed."""
+        freed = 0
+        for slot in list(self._slot_key):
+            if machine.read_word(self._stub_addr(slot) + 2) == 0:
+                key = self._slot_key.pop(slot)
+                self._live_stubs.pop(key, None)
+                self._free_slots.append(slot)
+                freed += 1
+        if freed:
+            self.stats.stub_reclaims += freed
+            self.stats.stubs_freed += freed
+        return freed
+
     # -- Decompress ---------------------------------------------------------
 
     def _decompress(self, machine: Machine, retaddr: int) -> None:
@@ -259,7 +305,20 @@ class SquashRuntime:
 
         region_index = tag >> 16
         offset = tag & 0xFFFF
+        if region_index >= len(desc.regions):
+            raise OffsetTableError(
+                f"tag word at {retaddr:#x} names region {region_index}; "
+                f"image has {len(desc.regions)} regions",
+                region=region_index,
+            )
         region = desc.region(region_index)
+        if offset > region.expanded_size:
+            raise BufferOverrunError(
+                f"tag word at {retaddr:#x} re-enters region "
+                f"{region_index} at slot {offset}, past its "
+                f"{region.expanded_size}-word expansion",
+                region=region_index,
+            )
 
         hit = (
             region_index in self._materialised
@@ -295,9 +354,29 @@ class SquashRuntime:
             self.stats.stubs_freed += 1
 
     def _fill(self, machine: Machine, region_index: int) -> None:
-        """Decode a region into its area and charge the measured cost."""
+        """Decode a region into its area and charge the measured cost.
+
+        Every fill on the decode path is integrity-checked: the offset
+        table, codec tables, and stream CRCs once per runtime, plus the
+        region's own bit-range CRC before its first decode.  All checks
+        are host-side (the modelled decompressor folds them into its
+        word fetches), so cycle accounting is identical to the
+        unchecked runtime.
+        """
         desc = self.desc
+        self._verify_image(machine)
         region = desc.region(region_index)
+        if (
+            region.base < desc.buffer_base
+            or region.base + region.expanded_size
+            > desc.buffer_base + desc.buffer_words
+        ):
+            raise BufferOverrunError(
+                f"region {region_index} target [{region.base:#x}, "
+                f"{region.base + region.expanded_size:#x}) outside the "
+                f"runtime buffer",
+                region=region_index,
+            )
         codec = self._ensure_codec(machine)
 
         cached = self._expanded_cache.get(region_index)
@@ -305,12 +384,25 @@ class SquashRuntime:
             bit_offset = machine.read_word(
                 desc.offset_table_addr + region_index
             )
-            items, bits = self._decode_region(machine, codec, bit_offset)
+            self._check_region_stream(machine, region_index, bit_offset)
+            try:
+                items, bits = self._decode_region(
+                    machine, codec, bit_offset
+                )
+            except SquashError as exc:
+                raise exc.with_context(
+                    region=region_index,
+                    bit_offset=bit_offset,
+                    fingerprint=self._fingerprint_hex(machine),
+                )
             words = self._expand(items, region.base)
             if len(words) + 1 != region.expanded_size:
-                raise AssertionError(
+                raise BufferOverrunError(
                     f"region {region_index}: expanded to {len(words) + 1} "
-                    f"words, expected {region.expanded_size}"
+                    f"words, expected {region.expanded_size}",
+                    region=region_index,
+                    bit_offset=bit_offset,
+                    fingerprint=self._fingerprint_hex(machine),
                 )
             # Cache the host-side decode (a pure speed optimisation for
             # the simulation: the guest is still charged the full
@@ -359,17 +451,24 @@ class SquashRuntime:
         key = (self._blob_fingerprint(machine), bit_offset)
         cached = _REGION_DECODE_CACHE.get(key)
         if cached is not None:
-            _REGION_DECODE_CACHE.move_to_end(key)
-            _REGION_CACHE_HITS += 1
-            return cached
+            items, bits, seal = cached
+            if _entry_seal(items, bits) == seal:
+                _REGION_DECODE_CACHE.move_to_end(key)
+                _REGION_CACHE_HITS += 1
+                return items, bits
+            # A poisoned entry (mutated in place by another runtime or
+            # a fault) is rejected rather than executed: drop it and
+            # fall through to a fresh decode from the verified blob.
+            del _REGION_DECODE_CACHE[key]
+            self.stats.cache_rejects += 1
         _REGION_CACHE_MISSES += 1
         stream = _MemWords(machine, desc.stream_addr, desc.stream_words)
         items, bits = codec.decode_region(stream, bit_offset)
-        entry = (tuple(items), bits)
-        _REGION_DECODE_CACHE[key] = entry
+        items = tuple(items)
+        _REGION_DECODE_CACHE[key] = (items, bits, _entry_seal(items, bits))
         while len(_REGION_DECODE_CACHE) > REGION_CACHE_MAX_ENTRIES:
             _REGION_DECODE_CACHE.popitem(last=False)
-        return entry
+        return items, bits
 
     def _blob_fingerprint(self, machine: Machine) -> bytes:
         if self._blob_digest is None:
@@ -442,15 +541,121 @@ class SquashRuntime:
         return words
 
     def _ensure_codec(self, machine: Machine) -> ProgramCodec:
-        """Parse the Huffman tables out of image memory, once."""
+        """Parse the Huffman tables out of image memory, once.
+
+        The serialized table area is CRC-checked before parsing (when
+        the image carries integrity metadata) and any parse failure
+        surfaces as a :class:`~repro.errors.CodecTableError`.
+        """
         if self._codec is None:
             desc = self.desc
             table = [
                 machine.mem[desc.table_addr + index]
                 for index in range(desc.table_words)
             ]
-            self._codec = ProgramCodec.from_table_words(table)
+            fingerprint = self._fingerprint_hex(machine)
+            if desc.integrity is not None:
+                check_area_crc(
+                    table,
+                    desc.integrity.table_crc,
+                    "serialized codec tables",
+                    CodecTableError,
+                    fingerprint,
+                )
+            try:
+                self._codec = ProgramCodec.from_table_words(table)
+            except SquashError as exc:
+                raise exc.with_context(fingerprint=fingerprint)
+            except (ValueError, EOFError) as exc:
+                raise CodecTableError(
+                    f"unparseable codec tables: {exc}",
+                    fingerprint=fingerprint,
+                ) from exc
         return self._codec
+
+    # -- integrity ----------------------------------------------------------
+
+    def _fingerprint_hex(self, machine: Machine) -> str:
+        """Short hex fingerprint of the blob, for error context."""
+        return self._blob_fingerprint(machine).hex()[:12]
+
+    def _verify_image(self, machine: Machine) -> None:
+        """Once per runtime: validate the offset table (monotonicity,
+        bounds, CRC) and the whole-stream CRC against the descriptor's
+        integrity metadata.  Images without metadata still get the
+        structural offset-table checks."""
+        if self._image_verified:
+            return
+        self._image_verified = True
+        desc = self.desc
+        integ = desc.integrity
+        fingerprint = self._fingerprint_hex(machine)
+        if integ is not None and len(integ.regions) != len(desc.regions):
+            raise CorruptBlobError(
+                f"integrity metadata covers {len(integ.regions)} regions; "
+                f"descriptor has {len(desc.regions)}",
+                fingerprint=fingerprint,
+            )
+        offsets = [
+            machine.read_word(desc.offset_table_addr + index)
+            for index in range(len(desc.regions))
+        ]
+        stream_bits = (
+            integ.stream_bits if integ is not None
+            else desc.stream_words * 32
+        )
+        check_offset_table(offsets, stream_bits, integ, fingerprint)
+        if integ is not None:
+            stream = machine.mem[
+                desc.stream_addr : desc.stream_addr + desc.stream_words
+            ]
+            check_area_crc(
+                stream,
+                integ.stream_crc,
+                "compressed stream",
+                CorruptBlobError,
+                fingerprint,
+            )
+
+    def _check_region_stream(
+        self, machine: Machine, region_index: int, bit_offset: int
+    ) -> None:
+        """Before decoding a region: its offset-table entry must match
+        the descriptor, and its exact bit range must match its CRC."""
+        desc = self.desc
+        region = desc.region(region_index)
+        if bit_offset != region.bit_offset:
+            raise OffsetTableError(
+                f"offset table entry {region_index} reads {bit_offset}; "
+                f"descriptor says {region.bit_offset}",
+                region=region_index,
+                bit_offset=bit_offset,
+                fingerprint=self._fingerprint_hex(machine),
+            )
+        integ = desc.integrity
+        if integ is None:
+            return
+        record = integ.regions[region_index]
+        if record.end_bit > desc.stream_words * 32:
+            raise TruncatedStreamError(
+                f"region {region_index} ends at bit {record.end_bit}; "
+                f"stream holds only {desc.stream_words * 32} bits",
+                region=region_index,
+                bit_offset=record.end_bit,
+                fingerprint=self._fingerprint_hex(machine),
+            )
+        stream = _MemWords(machine, desc.stream_addr, desc.stream_words)
+        if (
+            bit_range_crc(stream, record.start_bit, record.end_bit)
+            != record.crc
+        ):
+            raise CorruptBlobError(
+                f"region {region_index} bit range "
+                f"[{record.start_bit}, {record.end_bit}) fails its CRC",
+                region=region_index,
+                bit_offset=bit_offset,
+                fingerprint=self._fingerprint_hex(machine),
+            )
 
     def _charge(self, machine: Machine, cycles: int) -> None:
         machine.charge(cycles)

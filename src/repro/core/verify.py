@@ -1,0 +1,273 @@
+"""Offline verification of squashed executables.
+
+``repro verify <prefix>`` (and :func:`repro.core.pipeline.load_squashed`
+with ``verify=True``) runs these checks against an image on disk,
+without executing it:
+
+1. image file well-formedness (magic, format version, payload CRC);
+2. descriptor parse and integrity-metadata presence;
+3. serialized codec tables: area CRC and a full parse;
+4. function offset table: monotonicity, bounds, CRC, and agreement
+   with the descriptor's per-region bit offsets;
+5. compressed stream CRC;
+6. (deep mode) an off-line decode of every region: per-region bit-range
+   CRC, a full Huffman decode to the sentinel, the measured bit count
+   against the region's bit range, and the expanded word count against
+   the descriptor.
+
+The first fault stops the run and is reported structurally
+(:class:`VerifyFault` wraps the :class:`~repro.errors.SquashError`).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.compress.codec import ProgramCodec
+from repro.compress.streams import OP_XCALLD, OP_XCALLI
+from repro.core.descriptor import SquashDescriptor
+from repro.core.integrity import (
+    bit_range_crc,
+    check_area_crc,
+    check_offset_table,
+)
+from repro.errors import (
+    CodecTableError,
+    CorruptBlobError,
+    OffsetTableError,
+    SquashError,
+    TruncatedStreamError,
+)
+from repro.program.image import LoadedImage
+
+__all__ = [
+    "VerifyFault",
+    "VerifyReport",
+    "verify_squashed",
+    "check_image_integrity",
+]
+
+
+@dataclass
+class VerifyFault:
+    """One failed check, with the structured error behind it."""
+
+    check: str
+    message: str
+    error_type: str
+    region: int | None = None
+    bit_offset: int | None = None
+
+    @classmethod
+    def from_error(cls, check: str, exc: SquashError) -> "VerifyFault":
+        return cls(
+            check=check,
+            message=str(exc),
+            error_type=type(exc).__name__,
+            region=getattr(exc, "region", None),
+            bit_offset=getattr(exc, "bit_offset", None),
+        )
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a verification run: passed checks plus the first
+    fault (if any)."""
+
+    prefix: str
+    passed: list[str] = field(default_factory=list)
+    fault: VerifyFault | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.fault is None
+
+    def render(self) -> str:
+        lines = [f"verify {self.prefix}: {'OK' if self.ok else 'FAULT'}"]
+        for check in self.passed:
+            lines.append(f"  pass  {check}")
+        if self.fault is not None:
+            lines.append(f"  FAIL  {self.fault.check}")
+            lines.append(f"        {self.fault.error_type}: "
+                         f"{self.fault.message}")
+        return "\n".join(lines)
+
+
+def _image_words(image: LoadedImage, addr: int, count: int) -> list[int]:
+    start = addr - image.base
+    if start < 0 or start + count > len(image.memory):
+        raise CorruptBlobError(
+            f"area [{addr:#x}, {addr + count:#x}) outside the image"
+        )
+    return image.memory[start : start + count]
+
+
+def check_image_integrity(
+    image: LoadedImage, descriptor: SquashDescriptor
+) -> None:
+    """The fast (no-decode) integrity checks over a loaded image:
+    codec-table CRC, offset-table structure/CRC, stream CRC.  Raises a
+    :class:`~repro.errors.SquashError` subclass on the first fault;
+    images without integrity metadata get structural checks only."""
+    integ = descriptor.integrity
+    table = _image_words(
+        image, descriptor.table_addr, descriptor.table_words
+    )
+    if integ is not None:
+        check_area_crc(
+            table, integ.table_crc, "serialized codec tables",
+            CodecTableError,
+        )
+    offsets = _image_words(
+        image, descriptor.offset_table_addr, len(descriptor.regions)
+    )
+    stream_bits = (
+        integ.stream_bits if integ is not None
+        else descriptor.stream_words * 32
+    )
+    check_offset_table(offsets, stream_bits, integ)
+    for region in descriptor.regions:
+        if offsets[region.index] != region.bit_offset:
+            raise OffsetTableError(
+                f"offset table entry {region.index} reads "
+                f"{offsets[region.index]}; descriptor says "
+                f"{region.bit_offset}",
+                region=region.index,
+                bit_offset=offsets[region.index],
+            )
+    stream = _image_words(
+        image, descriptor.stream_addr, descriptor.stream_words
+    )
+    if integ is not None:
+        check_area_crc(
+            stream, integ.stream_crc, "compressed stream",
+            CorruptBlobError,
+        )
+
+
+def _decode_all_regions(
+    image: LoadedImage, descriptor: SquashDescriptor
+) -> None:
+    """Deep check: decode every region off-line and cross-check the
+    measured bit counts and expanded sizes against the descriptor."""
+    integ = descriptor.integrity
+    table = _image_words(
+        image, descriptor.table_addr, descriptor.table_words
+    )
+    try:
+        codec = ProgramCodec.from_table_words(table)
+    except SquashError:
+        raise
+    except (ValueError, EOFError) as exc:
+        raise CodecTableError(f"unparseable codec tables: {exc}") from exc
+    stream = _image_words(
+        image, descriptor.stream_addr, descriptor.stream_words
+    )
+    for region in descriptor.regions:
+        if integ is not None:
+            record = integ.regions[region.index]
+            if record.end_bit > len(stream) * 32:
+                raise TruncatedStreamError(
+                    f"region {region.index} ends at bit {record.end_bit}; "
+                    f"stream holds only {len(stream) * 32} bits",
+                    region=region.index,
+                    bit_offset=record.end_bit,
+                )
+            if (
+                bit_range_crc(stream, record.start_bit, record.end_bit)
+                != record.crc
+            ):
+                raise CorruptBlobError(
+                    f"region {region.index} bit range "
+                    f"[{record.start_bit}, {record.end_bit}) fails its CRC",
+                    region=region.index,
+                    bit_offset=record.start_bit,
+                )
+        try:
+            items, bits = codec.decode_region(stream, region.bit_offset)
+        except SquashError as exc:
+            raise exc.with_context(
+                region=region.index, bit_offset=region.bit_offset
+            )
+        if integ is not None:
+            record = integ.regions[region.index]
+            if region.bit_offset + bits != record.end_bit:
+                raise CorruptBlobError(
+                    f"region {region.index} decoded {bits} bits; its bit "
+                    f"range holds {record.end_bit - record.start_bit}",
+                    region=region.index,
+                    bit_offset=region.bit_offset,
+                )
+        expanded = 1 + sum(
+            2 if item.opcode in (OP_XCALLD, OP_XCALLI) else 1
+            for item in items
+        )
+        if expanded != region.expanded_size:
+            raise CorruptBlobError(
+                f"region {region.index} expands to {expanded} words; "
+                f"descriptor says {region.expanded_size}",
+                region=region.index,
+                bit_offset=region.bit_offset,
+            )
+
+
+def verify_squashed(prefix, deep: bool = True) -> VerifyReport:
+    """Verify a ``save``d squashed executable; never raises -- faults
+    come back in the report."""
+    prefix = pathlib.Path(prefix)
+    report = VerifyReport(prefix=str(prefix))
+
+    def run(check: str, thunk) -> bool:
+        try:
+            thunk()
+        except SquashError as exc:
+            report.fault = VerifyFault.from_error(check, exc)
+            return False
+        except Exception as exc:  # malformed beyond our taxonomy
+            report.fault = VerifyFault(
+                check=check, message=str(exc), error_type=type(exc).__name__
+            )
+            return False
+        report.passed.append(check)
+        return True
+
+    state: dict = {}
+
+    def load_img():
+        from repro.program.imagefile import load_image
+
+        state["image"] = load_image(prefix.with_suffix(".img"))
+
+    def load_desc():
+        import json
+
+        from repro.core.descriptor import descriptor_from_dict
+
+        state["descriptor"] = descriptor_from_dict(
+            json.loads(prefix.with_suffix(".json").read_text())
+        )
+
+    def integrity_present():
+        if state["descriptor"].integrity is None:
+            raise CorruptBlobError(
+                "descriptor carries no integrity metadata"
+            )
+
+    if not run("image-file", load_img):
+        return report
+    if not run("descriptor", load_desc):
+        return report
+    if not run("integrity-metadata", integrity_present):
+        return report
+    if not run(
+        "checksums",
+        lambda: check_image_integrity(state["image"], state["descriptor"]),
+    ):
+        return report
+    if deep:
+        run(
+            "region-decode",
+            lambda: _decode_all_regions(state["image"], state["descriptor"]),
+        )
+    return report

@@ -1,0 +1,126 @@
+"""Structured error taxonomy of the squash pipeline and runtime.
+
+A squashed image that decodes a flipped bit into plausible-looking
+instructions is worse than one that crashes: the paper's runtime
+overwrites live code with whatever the Huffman decoder produces, so a
+corrupt blob, offset table, or codec table must surface as a *typed*
+error before anything executes.  Every failure the decompression path
+can diagnose raises a subclass of :class:`SquashError`, carrying the
+context a fault report needs: the region being decoded, the bit offset
+in the compressed stream, and the blob fingerprint.
+
+The taxonomy::
+
+    SquashError
+    ├── CorruptBlobError        (also ValueError) checksum/decode failures
+    │   └── ImageFormatError    (repro.program.imagefile) malformed files
+    ├── TruncatedStreamError    (also EOFError) consuming bits past EOF
+    ├── CodecTableError         (also ValueError) bad serialized code tables
+    ├── OffsetTableError        function offset table out of bounds/order
+    ├── BufferOverrunError      decoded region exceeds its buffer area
+    └── StubAreaOverflow        restore-stub area exhausted
+
+``CorruptBlobError``/``CodecTableError`` double as :class:`ValueError`
+and ``TruncatedStreamError`` as :class:`EOFError` so long-standing
+callers (and the paper-verbatim decode loops) that catch the ad-hoc
+built-ins keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SquashError",
+    "CorruptBlobError",
+    "TruncatedStreamError",
+    "CodecTableError",
+    "OffsetTableError",
+    "BufferOverrunError",
+    "StubAreaOverflow",
+]
+
+
+class SquashError(Exception):
+    """Base of every squash-specific failure.
+
+    ``region``, ``bit_offset`` and ``fingerprint`` are optional context
+    attached at the raise site (or later via :meth:`with_context` as the
+    error propagates up through layers that know more).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        region: int | None = None,
+        bit_offset: int | None = None,
+        fingerprint: str | None = None,
+    ):
+        self.message = message
+        self.region = region
+        self.bit_offset = bit_offset
+        self.fingerprint = fingerprint
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        context = [
+            f"{name}={value}"
+            for name, value in (
+                ("region", self.region),
+                ("bit_offset", self.bit_offset),
+                ("fingerprint", self.fingerprint),
+            )
+            if value is not None
+        ]
+        if not context:
+            return self.message
+        return f"{self.message} ({', '.join(context)})"
+
+    def with_context(
+        self,
+        *,
+        region: int | None = None,
+        bit_offset: int | None = None,
+        fingerprint: str | None = None,
+    ) -> "SquashError":
+        """Fill in missing context fields and return self (for
+        ``raise exc.with_context(...)`` at an outer layer)."""
+        if self.region is None:
+            self.region = region
+        if self.bit_offset is None:
+            self.bit_offset = bit_offset
+        if self.fingerprint is None:
+            self.fingerprint = fingerprint
+        self.args = (self._render(),)
+        return self
+
+
+class CorruptBlobError(SquashError, ValueError):
+    """The compressed blob (or a checksummed area) failed validation:
+    a CRC mismatch, an undecodable codeword, or a malformed file."""
+
+
+class TruncatedStreamError(SquashError, EOFError):
+    """A decode consumed bits past the end of the stream.
+
+    Lookahead (``BitReader.peek_bits``) still zero-pads past EOF;
+    *consuming* padded bits is what raises.
+    """
+
+
+class CodecTableError(SquashError, ValueError):
+    """The serialized codec tables are malformed or fail their CRC."""
+
+
+class OffsetTableError(SquashError):
+    """The function offset table is out of bounds, non-monotonic, or
+    disagrees with the descriptor/checksum."""
+
+
+class BufferOverrunError(SquashError):
+    """A decoded region does not fit its buffer area (wrong expanded
+    size, or a base outside the runtime buffer)."""
+
+
+class StubAreaOverflow(SquashError):
+    """The reserved restore-stub area ran out of slots, and reclaiming
+    zero-refcount stubs freed nothing."""

@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the squashed-image runtime.
+
+The harness perturbs a squashed image (bit flips in the compressed
+stream, codec tables, or offset table; stream truncation; offset-table
+corruption; region-decode-cache poisoning) and asserts that every fault
+is *detected* -- the run raises a :class:`~repro.errors.SquashError`
+subclass -- or *provably benign* -- the run's output, exit code, and
+cycle count are identical to the clean run.  A fault that changes
+behaviour without raising is a **silent misexecution**, the failure
+mode the integrity format exists to rule out.
+"""
+
+from repro.faultinject.inject import (
+    FAULT_KINDS,
+    FaultSpec,
+    apply_fault,
+    plan_fault,
+)
+from repro.faultinject.sweep import (
+    FaultOutcome,
+    SweepReport,
+    run_sweep,
+    sweep_program,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "apply_fault",
+    "plan_fault",
+    "FaultOutcome",
+    "SweepReport",
+    "run_sweep",
+    "sweep_program",
+]

@@ -1,0 +1,131 @@
+"""Fault planning and application.
+
+A fault is planned against a descriptor (picking concrete coordinates
+with a seeded RNG) and then applied to *copies* of the image memory and
+descriptor, so one clean :class:`~repro.core.pipeline.SquashResult` can
+absorb thousands of independent faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+
+from repro.core.descriptor import SquashDescriptor
+from repro.program.image import LoadedImage
+
+#: Fault kinds the planner can draw from.  ``cache-poison`` is planned
+#: here but applied by the sweep (it tampers with runtime state, not
+#: the image).
+FAULT_KINDS = (
+    "bitflip-stream",
+    "bitflip-table",
+    "bitflip-offsets",
+    "truncate-stream",
+    "offset-corrupt",
+    "cache-poison",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One concrete, reproducible fault.
+
+    ``kind`` is one of :data:`FAULT_KINDS`; the remaining fields are
+    the coordinates the planner chose (unused ones stay at their
+    defaults), so re-applying the same spec reproduces the same fault.
+    """
+
+    kind: str
+    #: Absolute word address the fault lands on (bit flips, offset
+    #: corruption).
+    addr: int = 0
+    #: Bit within the word (bit flips).
+    bit: int = 0
+    #: Words dropped from the stream tail (truncation).
+    drop_words: int = 0
+    #: Replacement value (offset corruption).
+    value: int = 0
+    #: Cache-poison mode: "items" or "bits".
+    mode: str = ""
+
+    def describe(self) -> str:
+        if self.kind in ("bitflip-stream", "bitflip-table", "bitflip-offsets"):
+            return f"{self.kind} @ {self.addr:#x} bit {self.bit}"
+        if self.kind == "truncate-stream":
+            return f"truncate-stream by {self.drop_words} words"
+        if self.kind == "offset-corrupt":
+            return f"offset-corrupt @ {self.addr:#x} -> {self.value}"
+        return f"cache-poison ({self.mode})"
+
+
+def plan_fault(
+    kind: str, descriptor: SquashDescriptor, rng: random.Random
+) -> FaultSpec:
+    """Pick concrete coordinates for a *kind* fault against an image
+    laid out per *descriptor*."""
+    desc = descriptor
+    if kind == "bitflip-stream":
+        addr = desc.stream_addr + rng.randrange(desc.stream_words)
+        return FaultSpec(kind=kind, addr=addr, bit=rng.randrange(32))
+    if kind == "bitflip-table":
+        addr = desc.table_addr + rng.randrange(desc.table_words)
+        return FaultSpec(kind=kind, addr=addr, bit=rng.randrange(32))
+    if kind == "bitflip-offsets":
+        addr = desc.offset_table_addr + rng.randrange(
+            max(len(desc.regions), 1)
+        )
+        return FaultSpec(kind=kind, addr=addr, bit=rng.randrange(32))
+    if kind == "truncate-stream":
+        drop = rng.randrange(1, max(desc.stream_words, 2))
+        return FaultSpec(kind=kind, drop_words=drop)
+    if kind == "offset-corrupt":
+        index = rng.randrange(max(len(desc.regions), 1))
+        addr = desc.offset_table_addr + index
+        good = desc.regions[index].bit_offset if desc.regions else 0
+        value = good
+        while value == good:
+            value = rng.randrange(max(desc.stream_words * 32, 2))
+        return FaultSpec(kind=kind, addr=addr, value=value)
+    if kind == "cache-poison":
+        return FaultSpec(kind=kind, mode=rng.choice(("items", "bits")))
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def apply_fault(
+    image: LoadedImage, descriptor: SquashDescriptor, spec: FaultSpec
+) -> tuple[LoadedImage, SquashDescriptor]:
+    """Apply *spec* to copies of (*image*, *descriptor*).
+
+    The originals are never mutated.  ``cache-poison`` has no image
+    effect and returns unmodified copies (the sweep tampers with the
+    decode cache instead).
+    """
+    memory = list(image.memory)
+    faulty_image = dataclasses.replace(image, memory=memory)
+    faulty_desc = descriptor
+
+    if spec.kind in ("bitflip-stream", "bitflip-table", "bitflip-offsets"):
+        index = spec.addr - image.base
+        memory[index] ^= 1 << spec.bit
+    elif spec.kind == "truncate-stream":
+        # Shrink the stream the decompressor can see and clobber the
+        # dropped tail.  (The address space keeps its size so the heap
+        # and stack bases stay put -- a shifted heap would make even
+        # unrelated runs diverge for reasons the integrity format is
+        # not about; whole-*file* truncation is the image CRC footer's
+        # job and is tested separately.)
+        drop = min(spec.drop_words, descriptor.stream_words - 1)
+        new_words = descriptor.stream_words - drop
+        cut = descriptor.stream_addr + new_words - image.base
+        for index in range(cut, cut + drop):
+            memory[index] = 0
+        faulty_desc = dataclasses.replace(
+            descriptor, stream_words=new_words
+        )
+    elif spec.kind == "offset-corrupt":
+        memory[spec.addr - image.base] = spec.value
+    elif spec.kind != "cache-poison":
+        raise ValueError(f"unknown fault kind {spec.kind!r}")
+    return faulty_image, faulty_desc

@@ -9,7 +9,10 @@ words::
     n_symbols  | per symbol:  name-length, name bytes (padded), address
     n_heads    | per head:    address, label-length, label bytes (padded)
     n_words    | memory words
+    crc32 over all preceding bytes      (version >= 2)
 
+Version 2 appends the CRC32 footer so a bit-flipped or truncated file
+is rejected at load time; version-1 files (no footer) still load.
 Squashed images additionally need their runtime descriptor; see
 :func:`repro.core.descriptor.descriptor_to_dict` and
 :meth:`repro.core.pipeline.SquashResult.save`.
@@ -19,14 +22,18 @@ from __future__ import annotations
 
 import pathlib
 import struct
+import zlib
 
+from repro.errors import CorruptBlobError
 from repro.program.image import LoadedImage, Segment
 
 MAGIC = 0x5351494D  # 'SQIM'
-VERSION = 1
+VERSION = 2
+#: Oldest format version :func:`load_image` still accepts.
+MIN_VERSION = 1
 
 
-class ImageFormatError(Exception):
+class ImageFormatError(CorruptBlobError):
     """Raised on a malformed image file."""
 
 
@@ -49,18 +56,32 @@ class _Reader:
         self.pos += 4
         return value
 
+    def count(self, what: str) -> int:
+        """A u32 element count, sanity-bounded by the file size (a
+        corrupt count must not drive a huge allocation)."""
+        value = self.u32()
+        if value > len(self.data) // 4:
+            raise ImageFormatError(
+                f"implausible {what} count {value} in a "
+                f"{len(self.data)}-byte file"
+            )
+        return value
+
     def text(self) -> str:
         length = self.u32()
         end = self.pos + length
         if end > len(self.data):
             raise ImageFormatError("truncated string")
-        value = self.data[self.pos : end].decode("utf-8")
+        try:
+            value = self.data[self.pos : end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ImageFormatError(f"corrupt string: {exc}") from exc
         self.pos = end + (-length % 4)
         return value
 
 
 def save_image(image: LoadedImage, path: str | pathlib.Path) -> None:
-    """Write *image* to *path*."""
+    """Write *image* to *path* (format version 2, with CRC footer)."""
     parts: list[bytes] = [
         struct.pack("<IIII", MAGIC, VERSION, image.base, image.entry_pc)
     ]
@@ -78,34 +99,57 @@ def save_image(image: LoadedImage, path: str | pathlib.Path) -> None:
         _pack_str(parts, label)
     parts.append(struct.pack("<I", len(image.memory)))
     parts.append(struct.pack(f"<{len(image.memory)}I", *image.memory))
-    pathlib.Path(path).write_bytes(b"".join(parts))
+    payload = b"".join(parts)
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    pathlib.Path(path).write_bytes(payload + struct.pack("<I", crc))
 
 
 def load_image(path: str | pathlib.Path) -> LoadedImage:
-    """Read an image written by :func:`save_image`."""
-    reader = _Reader(pathlib.Path(path).read_bytes())
-    magic = reader.u32()
+    """Read an image written by :func:`save_image`.
+
+    Malformed files -- bad magic, unknown version, failed CRC footer,
+    implausible counts, truncation -- raise :class:`ImageFormatError`
+    (a :class:`~repro.errors.CorruptBlobError`).
+    """
+    data = pathlib.Path(path).read_bytes()
+    if len(data) < 8:
+        raise ImageFormatError("file too short for a header")
+    magic, version = struct.unpack_from("<II", data, 0)
     if magic != MAGIC:
         raise ImageFormatError(f"bad magic {magic:#x}")
-    version = reader.u32()
-    if version != VERSION:
+    if not MIN_VERSION <= version <= VERSION:
         raise ImageFormatError(f"unsupported version {version}")
+    if version >= 2:
+        # The last word is a CRC32 over everything before it.
+        if len(data) < 12:
+            raise ImageFormatError("file too short for a CRC footer")
+        payload, footer = data[:-4], data[-4:]
+        (expected,) = struct.unpack("<I", footer)
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual != expected:
+            raise ImageFormatError(
+                f"image file fails its CRC "
+                f"(stored {expected:#010x}, computed {actual:#010x})"
+            )
+        data = payload
+    reader = _Reader(data)
+    reader.pos = 8  # past magic + version
     base = reader.u32()
     entry_pc = reader.u32()
     segments = []
-    for _ in range(reader.u32()):
+    for _ in range(reader.count("segment")):
         name = reader.text()
         start, size = reader.u32(), reader.u32()
         segments.append(Segment(name, start, size))
     symbols = {}
-    for _ in range(reader.u32()):
+    for _ in range(reader.count("symbol")):
         name = reader.text()
         symbols[name] = reader.u32()
     heads = {}
-    for _ in range(reader.u32()):
+    for _ in range(reader.count("block head")):
         addr = reader.u32()
         heads[addr] = reader.text()
-    n_words = reader.u32()
+    n_words = reader.count("memory word")
     end = reader.pos + 4 * n_words
     if end > len(reader.data):
         raise ImageFormatError("truncated memory")
