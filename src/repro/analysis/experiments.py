@@ -8,6 +8,14 @@ a relative dynamic weight ~100x larger here, so the θ axis is shifted:
 we evaluate each paper threshold θ_p at θ_ours = min(1, 100 · θ_p),
 and report both values.  θ = 0 and θ = 1 are fixed points of the
 mapping.  EXPERIMENTS.md discusses the effect.
+
+These drivers are strictly serial and memoise only per-process
+(``lru_cache``); :mod:`repro.analysis.parallel` provides row-identical
+equivalents with a supervised worker pool and a crash-safe on-disk
+cell cache.  ``repro chaossweep`` asserts the equivalence holds even
+under injected process faults — these serial rows are its ground
+truth, so changes here invalidate that gate's reference as well as the
+parallel cache salt.
 """
 
 from __future__ import annotations

@@ -14,6 +14,19 @@ config, :data:`PIPELINE_SALT`).  Bump the salt whenever a pipeline
 change can alter measured numbers -- it invalidates every cached cell
 at once.
 
+Execution is supervised (:mod:`repro.resilience`): every miss runs
+under per-cell deadlines, bounded retries with deterministic backoff,
+automatic pool replacement after a worker death, and a per-benchmark
+circuit breaker.  Each fresh result is persisted to the cache — sealed
+with a CRC line, written via a unique temp name and atomic rename —
+the moment its future completes, so a sweep killed mid-run resumes
+from the cache and recomputes only unfinished cells.  A cell that is
+still lost after retries surfaces as one typed
+:class:`~repro.errors.CellFailure`; completed siblings are never
+discarded.  Knobs: ``REPRO_CELL_DEADLINE``, ``REPRO_CELL_RETRIES``,
+``REPRO_CELL_BACKOFF``, ``REPRO_BREAKER_THRESHOLD`` (see
+:meth:`repro.resilience.SupervisorConfig.from_env`).
+
 The drivers here mirror the serial ones name-for-name and row-for-row;
 ``benchmarks/conftest.py`` selects this module when
 ``REPRO_BENCH_PARALLEL`` is set.
@@ -27,7 +40,7 @@ import hashlib
 import json
 import os
 import pathlib
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 
 from repro.analysis.experiments import (
     FIG3_BOUNDS,
@@ -44,11 +57,21 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.stats import geometric_mean
 from repro.core.pipeline import SquashConfig
+from repro.resilience import (
+    CacheStats,
+    Supervisor,
+    SupervisorConfig,
+    Task,
+    read_entry,
+    write_entry,
+)
 from repro.workloads.mediabench import MEDIABENCH
 
 __all__ = [
     "PIPELINE_SALT",
+    "REQUIRED_KEYS",
     "cache_dir",
+    "cell_path",
     "compute_cells",
     "fig3_rows",
     "fig6_rows",
@@ -72,7 +95,15 @@ def cache_dir() -> pathlib.Path:
 def _workers() -> int:
     env = os.environ.get("REPRO_BENCH_WORKERS")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"REPRO_BENCH_WORKERS={env!r} is not an integer; "
+                f"falling back to the CPU count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return max(1, os.cpu_count() or 1)
 
 
@@ -136,51 +167,103 @@ def _compute_cell(
     raise ValueError(f"unknown cell kind {kind!r}")
 
 
+#: Keys a cached entry must carry to be trusted, per cell kind; an
+#: entry missing any (valid JSON or not) is recomputed.
+REQUIRED_KEYS = {
+    "size": ("footprint_total", "baseline_words", "reduction"),
+    "time": ("cycles", "base_cycles", "relative_time"),
+}
+
+
+def cell_path(
+    root: pathlib.Path, cell: tuple[str, str, float, SquashConfig]
+) -> pathlib.Path:
+    digest = _cell_digest(*cell)
+    return root / digest[:2] / f"{digest}.json"
+
+
+def _supervised_cell(cell: tuple[str, str, float, SquashConfig]) -> dict:
+    """Worker-side entry: chaos hook, then the real cell.
+
+    The chaos hook is a no-op unless ``REPRO_CHAOS_SPEC`` is armed
+    (see :mod:`repro.faultinject.chaos`).
+    """
+    from repro.faultinject.chaos import maybe_inject
+
+    maybe_inject(_cell_digest(*cell))
+    return _compute_cell(*cell)
+
+
+def _cell_label(cell: tuple[str, str, float, SquashConfig]) -> str:
+    kind, name, scale, config = cell
+    return f"{kind}:{name} scale={scale} theta={config.theta}"
+
+
 def compute_cells(
     cells: list[tuple[str, str, float, SquashConfig]],
     parallel: bool = True,
     workers: int | None = None,
     cache: bool = True,
+    config: SupervisorConfig | None = None,
+    stats: CacheStats | None = None,
+    report_sink: list | None = None,
+    strict: bool = True,
 ) -> dict[tuple[str, str, float, SquashConfig], dict]:
     """Resolve every cell, from disk cache where possible.
 
-    Misses run across a process pool (*parallel*) or inline; every
-    fresh result is persisted before returning.
+    Misses run under the :class:`~repro.resilience.Supervisor` (across
+    a process pool when *parallel*, inline otherwise) and every fresh
+    result is persisted — sealed and atomically renamed — as soon as
+    its future completes, so an interrupted sweep keeps its finished
+    cells.  Corrupt, torn, or key-deficient cache entries are detected
+    (tallied in *stats*) and recomputed.  When *strict*, a cell still
+    missing after bounded retries raises its typed
+    :class:`~repro.errors.CellFailure`; pass ``strict=False`` and a
+    *report_sink* list to inspect failures instead.
     """
+    stats = stats if stats is not None else CacheStats()
     results: dict[tuple[str, str, float, SquashConfig], dict] = {}
     misses: list[tuple[str, str, float, SquashConfig]] = []
     root = cache_dir()
     paths: dict[tuple[str, str, float, SquashConfig], pathlib.Path] = {}
 
     for cell in dict.fromkeys(cells):
-        digest = _cell_digest(*cell)
-        path = root / digest[:2] / f"{digest}.json"
+        path = cell_path(root, cell)
         paths[cell] = path
-        if cache and path.exists():
-            try:
-                results[cell] = json.loads(path.read_text())
+        if cache:
+            entry = read_entry(path, REQUIRED_KEYS.get(cell[0], ()), stats)
+            if entry is not None:
+                results[cell] = entry
                 continue
-            except (OSError, ValueError):
-                pass  # unreadable entry: recompute it
         misses.append(cell)
 
     if misses:
-        if parallel and _workers() > 1 and len(misses) > 1:
-            with ProcessPoolExecutor(max_workers=_workers()) as pool:
-                futures = [
-                    pool.submit(_compute_cell, *cell) for cell in misses
-                ]
-                fresh = [future.result() for future in futures]
-        else:
-            fresh = [_compute_cell(*cell) for cell in misses]
-        for cell, result in zip(misses, fresh):
-            results[cell] = result
+        def _persist(task: Task, result: dict) -> None:
+            results[task.key] = result
             if cache:
-                path = paths[cell]
-                path.parent.mkdir(parents=True, exist_ok=True)
-                tmp = path.with_suffix(".tmp")
-                tmp.write_text(json.dumps(result, sort_keys=True))
-                tmp.replace(path)
+                try:
+                    write_entry(paths[task.key], result)
+                except OSError:
+                    # A full or read-only disk must not lose the
+                    # computed value — it just will not be cached.
+                    return
+                stats.writes += 1
+
+        cfg = config or SupervisorConfig.from_env()
+        if workers is not None:
+            cfg = dataclasses.replace(cfg, workers=workers)
+        elif cfg.workers is None:
+            cfg = dataclasses.replace(cfg, workers=_workers())
+        supervisor = Supervisor(_supervised_cell, cfg, on_result=_persist)
+        tasks = [
+            Task(key=cell, payload=cell, cls=cell[1], label=_cell_label(cell))
+            for cell in misses
+        ]
+        report = supervisor.run(tasks, parallel=parallel)
+        if report_sink is not None:
+            report_sink.append(report)
+        if report.failures and strict:
+            raise next(iter(report.failures.values()))
     return results
 
 

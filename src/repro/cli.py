@@ -9,6 +9,7 @@ Usage::
     python -m repro squash gsm --save /tmp/gsm
     python -m repro verify /tmp/gsm
     python -m repro faultsweep --names adpcm --faults 500 --seed 1
+    python -m repro chaossweep --names adpcm --faults 60 --seed 1
     python -m repro all
 """
 
@@ -222,6 +223,25 @@ def _cmd_faultsweep(args) -> int:
     return code
 
 
+def _cmd_chaossweep(args) -> int:
+    from repro.faultinject import run_chaos_sweep
+
+    code = 0
+    for name in args.names:
+        report = run_chaos_sweep(
+            name,
+            scale=args.scale,
+            faults=args.faults,
+            seed=args.seed,
+            workers=args.workers,
+            deadline=args.deadline,
+        )
+        print(report.render())
+        if not report.ok:
+            code = 1
+    return code
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig3": _cmd_fig3,
@@ -235,6 +255,7 @@ _COMMANDS = {
     "squash": _cmd_squash,
     "verify": _cmd_verify,
     "faultsweep": _cmd_faultsweep,
+    "chaossweep": _cmd_chaossweep,
 }
 
 
@@ -280,11 +301,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--faults", type=int, default=100,
-        help="faults to inject per benchmark (faultsweep command)",
+        help="faults to inject per benchmark "
+        "(faultsweep/chaossweep commands)",
     )
     parser.add_argument(
         "--seed", type=int, default=0,
-        help="fault-injection RNG seed (faultsweep command)",
+        help="fault-injection RNG seed (faultsweep/chaossweep commands)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=15.0,
+        help="per-cell supervisor deadline in seconds "
+        "(chaossweep command)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker pool size (chaossweep command; default: CPU count)",
     )
     args = parser.parse_args(argv)
     args.names = tuple(args.names)
@@ -294,7 +325,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "all":
             for name, command in _COMMANDS.items():
                 # Sub-commands needing extra arguments don't batch.
-                if name in ("squash", "verify", "faultsweep"):
+                if name in ("squash", "verify", "faultsweep", "chaossweep"):
                     continue
                 command(args)
                 print()

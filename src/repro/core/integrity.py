@@ -27,6 +27,7 @@ __all__ = [
     "RegionIntegrity",
     "ImageIntegrity",
     "words_crc",
+    "bytes_crc",
     "bit_range_crc",
     "blob_integrity",
     "check_offset_table",
@@ -37,6 +38,11 @@ __all__ = [
 def words_crc(words: Sequence[int]) -> int:
     """CRC32 over a 32-bit word sequence (little-endian byte order)."""
     return crc32(array("I", [w & 0xFFFFFFFF for w in words]).tobytes())
+
+
+def bytes_crc(data: bytes) -> int:
+    """CRC32 over raw bytes (the seal used by on-disk cache entries)."""
+    return crc32(data)
 
 
 def bit_range_crc(words: Sequence[int], start_bit: int, end_bit: int) -> int:

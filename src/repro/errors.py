@@ -18,12 +18,22 @@ The taxonomy::
     ├── CodecTableError         (also ValueError) bad serialized code tables
     ├── OffsetTableError        function offset table out of bounds/order
     ├── BufferOverrunError      decoded region exceeds its buffer area
-    └── StubAreaOverflow        restore-stub area exhausted
+    ├── StubAreaOverflow        restore-stub area exhausted
+    ├── WatchdogExpired         VM watchdog budget exhausted (hang guard)
+    ├── CellFailure             an experiment cell lost to crash/timeout
+    └── BreakerOpen             circuit breaker refused a cell class
 
 ``CorruptBlobError``/``CodecTableError`` double as :class:`ValueError`
 and ``TruncatedStreamError`` as :class:`EOFError` so long-standing
 callers (and the paper-verbatim decode loops) that catch the ad-hoc
 built-ins keep working.
+
+The last three classes belong to the *execution* path rather than the
+*data* path: :class:`WatchdogExpired` is raised by the VM's hang guard
+(:class:`~repro.vm.machine.Machine` with a watchdog budget), while
+:class:`CellFailure` and :class:`BreakerOpen` are raised by the
+:mod:`repro.resilience` supervision layer when a sweep cell is lost
+after bounded retries or its class's circuit breaker is open.
 """
 
 from __future__ import annotations
@@ -36,6 +46,9 @@ __all__ = [
     "OffsetTableError",
     "BufferOverrunError",
     "StubAreaOverflow",
+    "WatchdogExpired",
+    "CellFailure",
+    "BreakerOpen",
 ]
 
 
@@ -124,3 +137,69 @@ class BufferOverrunError(SquashError):
 class StubAreaOverflow(SquashError):
     """The reserved restore-stub area ran out of slots, and reclaiming
     zero-refcount stubs freed nothing."""
+
+
+class WatchdogExpired(SquashError):
+    """The VM's watchdog budget (steps plus runtime-service surcharge)
+    ran out: a pathological image is spinning instead of finishing.
+
+    Unlike :class:`~repro.vm.machine.FuelExhausted` — the caller-chosen
+    per-run step limit — the watchdog is an environment-level hang
+    guard (``REPRO_VM_WATCHDOG``) a sweep worker carries so no image
+    can wedge it forever, and it is part of the typed taxonomy so
+    supervisors classify it rather than time the worker out.
+    """
+
+
+class CellFailure(SquashError):
+    """An experiment cell was lost after bounded retries.
+
+    ``cell`` describes the (kind, name, scale, config) coordinates,
+    ``attempts`` how many executions were tried, and ``reason`` the
+    terminal failure kind (``timeout``, ``crash``, ``error``, or
+    ``breaker-open``).  Exactly one cell is lost per failure; completed
+    sibling cells stay persisted in the on-disk cache.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        cell: str | None = None,
+        attempts: int = 0,
+        reason: str = "",
+        error_type: str = "",
+        **kwargs,
+    ):
+        self.cell = cell
+        self.attempts = attempts
+        self.reason = reason
+        self.error_type = error_type
+        detail = []
+        if cell:
+            detail.append(f"cell {cell}")
+        if reason:
+            detail.append(f"reason {reason}")
+        if attempts:
+            detail.append(f"after {attempts} attempt(s)")
+        if error_type:
+            detail.append(f"last error {error_type}")
+        if detail:
+            message = f"{message} [{', '.join(detail)}]" if message else (
+                ", ".join(detail)
+            )
+        super().__init__(message, **kwargs)
+
+
+class BreakerOpen(SquashError):
+    """The per-class circuit breaker is open: cells of this class have
+    failed repeatedly and the supervisor refuses to resubmit them until
+    the sweep ends (the cell is recorded, never silently dropped)."""
+
+    def __init__(self, message: str = "", *, cls: str = "", **kwargs):
+        self.cls = cls
+        if cls and cls not in message:
+            message = f"{message} [class {cls}]" if message else (
+                f"breaker open for class {cls}"
+            )
+        super().__init__(message, **kwargs)

@@ -8,8 +8,27 @@ subclass -- or *provably benign* -- the run's output, exit code, and
 cycle count are identical to the clean run.  A fault that changes
 behaviour without raising is a **silent misexecution**, the failure
 mode the integrity format exists to rule out.
+
+Alongside the bit-level harness, :mod:`repro.faultinject.chaos` and
+:mod:`repro.faultinject.chaossweep` perturb the *execution* path:
+deterministic worker kills, hangs, OOM simulations, and cache-entry
+corruption injected into a supervised figure sweep, which must still
+converge to rows identical to a fault-free serial run.
 """
 
+from repro.faultinject.chaos import (
+    CACHE_FAULT_KINDS,
+    PROCESS_FAULT_KINDS,
+    ChaosSpec,
+    corrupt_entry,
+    maybe_inject,
+    plan_process_chaos,
+)
+from repro.faultinject.chaossweep import (
+    ChaosSweepReport,
+    chaos_cells,
+    run_chaos_sweep,
+)
 from repro.faultinject.inject import (
     FAULT_KINDS,
     FaultSpec,
@@ -32,4 +51,13 @@ __all__ = [
     "SweepReport",
     "run_sweep",
     "sweep_program",
+    "PROCESS_FAULT_KINDS",
+    "CACHE_FAULT_KINDS",
+    "ChaosSpec",
+    "plan_process_chaos",
+    "maybe_inject",
+    "corrupt_entry",
+    "ChaosSweepReport",
+    "chaos_cells",
+    "run_chaos_sweep",
 ]

@@ -1,0 +1,150 @@
+"""Crash-safe, multi-process-safe on-disk cache entries.
+
+Each entry is a two-line text file::
+
+    {"cycles": 482208, ...}
+    crc32:1a2b3c4d
+
+Line 1 is the JSON payload; line 2 seals it with a CRC32 over the
+payload bytes (:func:`repro.core.integrity.bytes_crc` — the same
+primitive that seals compressed areas inside a squashed image).  A torn
+write, truncation, stray garbage, or a tampered payload all fail the
+seal (or JSON parse, or required-key check) and the loader reports the
+entry as absent, so the caller recomputes instead of crashing or —
+worse — trusting a corrupt number.
+
+Writes are atomic and unique per writer: the payload goes to
+``.<name>.<pid>-<token>.tmp`` in the target directory, is fsynced, and
+is published with ``os.replace``; concurrent writers of the same cell
+cannot clobber each other's temp file and a crash mid-write leaves only
+a stale temp file, never a half-written entry under the final name.
+
+Sealless single-line entries written by older harness versions are
+still accepted when they parse and carry the required keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import secrets
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.integrity import bytes_crc
+
+__all__ = ["CacheStats", "read_entry", "write_entry", "seal_text"]
+
+_SEAL_PREFIX = "crc32:"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one pass over the cache."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    #: Rejected entries by reason: ``torn`` (unparseable/truncated),
+    #: ``seal-mismatch`` (CRC failed), ``missing-keys`` (valid JSON
+    #: lacking required fields), ``unreadable`` (OS error).
+    rejects: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def rejected(self) -> int:
+        return sum(self.rejects.values())
+
+    def _reject(self, reason: str) -> None:
+        self.rejects[reason] = self.rejects.get(reason, 0) + 1
+        self.misses += 1
+
+
+def seal_text(payload: str) -> str:
+    """The two-line sealed form of a JSON payload line."""
+    crc = bytes_crc(payload.encode("utf-8"))
+    return f"{payload}\n{_SEAL_PREFIX}{crc:08x}\n"
+
+
+def write_entry(path: pathlib.Path, obj: Mapping) -> None:
+    """Atomically publish *obj* as a sealed entry at *path*."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(obj, sort_keys=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}-{secrets.token_hex(4)}.tmp"
+    data = seal_text(payload).encode("utf-8")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: pathlib.Path) -> None:
+    """Best-effort durability for the rename itself."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def read_entry(
+    path: pathlib.Path,
+    required_keys: Iterable[str] = (),
+    stats: CacheStats | None = None,
+) -> dict | None:
+    """Load and validate one entry; ``None`` means recompute.
+
+    Never raises on a bad entry: corruption is an expected state the
+    sweep recovers from, and the reason is tallied in *stats*.
+    """
+    stats = stats if stats is not None else CacheStats()
+    try:
+        raw = path.read_text("utf-8", errors="replace")
+    except FileNotFoundError:
+        stats.misses += 1
+        return None
+    except OSError:
+        stats._reject("unreadable")
+        return None
+
+    lines = raw.splitlines()
+    payload: str | None = None
+    if len(lines) >= 2 and lines[-1].startswith(_SEAL_PREFIX):
+        body = "\n".join(lines[:-1])
+        try:
+            expected = int(lines[-1][len(_SEAL_PREFIX):], 16)
+        except ValueError:
+            stats._reject("torn")
+            return None
+        if bytes_crc(body.encode("utf-8")) != expected:
+            stats._reject("seal-mismatch")
+            return None
+        payload = body
+    elif len(lines) == 1:
+        payload = lines[0]  # legacy sealless entry
+    else:
+        stats._reject("torn")
+        return None
+
+    try:
+        obj = json.loads(payload)
+    except ValueError:
+        stats._reject("torn")
+        return None
+    if not isinstance(obj, dict):
+        stats._reject("torn")
+        return None
+    if any(key not in obj for key in required_keys):
+        stats._reject("missing-keys")
+        return None
+    stats.hits += 1
+    return obj

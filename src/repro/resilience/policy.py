@@ -1,0 +1,88 @@
+"""Retry and circuit-breaker policy for supervised fan-out work.
+
+Both pieces are deliberately deterministic: the jitter a retry waits is
+a pure function of (cell key, attempt), so two identical sweeps back
+off identically, and the breaker counts *consecutive* failures per cell
+class, so one flaky cell cannot open it while a systematically broken
+benchmark trips it quickly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["RetryPolicy", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` bounds *executions* of a cell (1 = no retry).
+    Crashes that take the whole worker pool down are accounted
+    separately by the supervisor (``crash_cap_factor`` × attempts),
+    because one killed worker fails every in-flight future and the
+    supervisor cannot attribute the blast to a single cell.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5.0
+    #: Jitter half-width as a fraction of the raw delay.
+    jitter: float = 0.25
+    #: Multiplier on ``max_attempts`` bounding pool-crash events a
+    #: single cell may absorb before it is declared lost.
+    crash_cap_factor: int = 4
+
+    @property
+    def crash_cap(self) -> int:
+        return max(2, self.max_attempts) * max(1, self.crash_cap_factor)
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before retry *attempt* (1-based) of *key*."""
+        if self.backoff_base <= 0.0:
+            return 0.0
+        raw = min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        if self.jitter <= 0.0:
+            return raw
+        digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+        frac = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * frac)
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-class consecutive-failure breaker.
+
+    A class (for sweeps: the benchmark name) that fails ``threshold``
+    times in a row with no intervening success is *open*: the
+    supervisor stops resubmitting its cells and records each skipped
+    cell as a typed ``breaker-open`` :class:`~repro.errors.CellFailure`
+    instead of burning workers on it.
+    """
+
+    threshold: int = 8
+    _streak: dict[str, int] = field(default_factory=dict)
+    _open: set[str] = field(default_factory=set)
+
+    def record_failure(self, cls: str) -> None:
+        streak = self._streak.get(cls, 0) + 1
+        self._streak[cls] = streak
+        if self.threshold > 0 and streak >= self.threshold:
+            self._open.add(cls)
+
+    def record_success(self, cls: str) -> None:
+        self._streak[cls] = 0
+        self._open.discard(cls)
+
+    def is_open(self, cls: str) -> bool:
+        return cls in self._open
+
+    @property
+    def open_classes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._open))

@@ -15,15 +15,36 @@ space in the image but whose execution we simulate (see DESIGN.md).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.errors import WatchdogExpired
 from repro.isa.encoding import WORD_MASK
 from repro.isa.opcodes import AluOp, Op, SysOp
 from repro.program.image import LoadedImage
 
 _SIGN_BIT = 1 << 31
 _U32 = WORD_MASK
+
+#: Watchdog surcharge per runtime-service invocation: service handlers
+#: execute host Python, not guest steps, so a decode-loop that
+#: ping-pongs through the decompressor burns watchdog budget even while
+#: its guest step count barely moves.
+_SERVICE_WATCHDOG_COST = 64
+
+
+def _env_watchdog() -> int:
+    """The process-wide watchdog budget (``REPRO_VM_WATCHDOG``).
+
+    0 or unset disables the guard; a malformed value is treated as
+    unset (the guard must never turn a healthy run into a crash).
+    """
+    raw = os.environ.get("REPRO_VM_WATCHDOG", "")
+    try:
+        return max(0, int(raw)) if raw else 0
+    except ValueError:
+        return 0
 
 
 class MachineFault(Exception):
@@ -105,6 +126,13 @@ class Machine:
     count_blocks:
         When true, count executions of each address in
         ``image.block_heads`` (the basic-block profile).
+    watchdog:
+        Hang-guard budget over the machine's lifetime, in steps plus a
+        fixed surcharge per runtime-service invocation; exceeding it
+        raises :class:`~repro.errors.WatchdogExpired`.  ``None`` reads
+        ``REPRO_VM_WATCHDOG`` from the environment; 0 disables the
+        guard.  The watchdog never touches the cycle model — a guarded
+        run is cycle-identical to an unguarded one.
     """
 
     def __init__(
@@ -115,6 +143,7 @@ class Machine:
         stack_words: int = 8192,
         services: dict[int, Callable[["Machine"], None]] | None = None,
         count_blocks: bool = False,
+        watchdog: int | None = None,
     ):
         self.image = image
         mem_size = image.end + heap_words + stack_words
@@ -131,6 +160,8 @@ class Machine:
         self.cycles = 0
         self.exit_code: int | None = None
         self.services = dict(services or {})
+        self.watchdog = _env_watchdog() if watchdog is None else max(0, watchdog)
+        self._watchdog_surcharge = 0
         self.count_blocks = count_blocks
         self.block_counts: dict[int, int] = {}
         self._block_heads = set(image.block_heads) if count_blocks else set()
@@ -189,6 +220,10 @@ class Machine:
         cycles = self.cycles
         min_sp = self._min_sp
         max_steps_total = steps + max_steps
+        svc_charge = self._watchdog_surcharge
+        # One comparison serves both budgets: trip at whichever limit
+        # comes first, then diagnose which one it was.
+        wd_limit = self.watchdog if self.watchdog else (1 << 62)
 
         OP_SPC = int(Op.SPC)
         OP_LDA, OP_LDAH = int(Op.LDA), int(Op.LDAH)
@@ -206,6 +241,12 @@ class Machine:
                 if services:
                     handler = services.get(pc)
                     if handler is not None:
+                        svc_charge += _SERVICE_WATCHDOG_COST
+                        if steps + svc_charge >= wd_limit:
+                            raise WatchdogExpired(
+                                f"watchdog budget {self.watchdog} exhausted "
+                                f"in runtime services at pc={pc:#x}"
+                            )
                         self.pc = pc
                         self.steps = steps
                         self.cycles = cycles
@@ -217,8 +258,13 @@ class Machine:
                         continue
                 if heads and pc in heads:
                     counts[pc] = counts.get(pc, 0) + 1
-                if steps >= max_steps_total:
-                    raise FuelExhausted("step budget exceeded", pc)
+                if steps >= max_steps_total or steps + svc_charge >= wd_limit:
+                    if steps >= max_steps_total:
+                        raise FuelExhausted("step budget exceeded", pc)
+                    raise WatchdogExpired(
+                        f"watchdog budget {self.watchdog} exhausted "
+                        f"at pc={pc:#x} after {steps} steps"
+                    )
                 if not 0 <= pc < mem_len:
                     raise MemoryFault("pc outside memory", pc)
                 word = mem[pc]
@@ -386,6 +432,7 @@ class Machine:
             self.steps = steps
             self.cycles = cycles
             self._min_sp = min_sp
+            self._watchdog_surcharge = svc_charge
 
         assert self.exit_code is not None
         return RunResult(

@@ -1,0 +1,43 @@
+"""Module-level worker behaviours for supervisor tests.
+
+Pool workers import tasks by reference, so these must live in a real
+module, not a test body.  Attempt counting goes through a file because
+retries of one task may land in different worker processes; the
+supervisor never runs two attempts of the same task concurrently, so a
+plain read-modify-write is race-free.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+
+def _bump(path: str) -> int:
+    """Previous value of the counter at *path*, then increment it."""
+    p = pathlib.Path(path)
+    count = int(p.read_text()) if p.exists() else 0
+    p.write_text(str(count + 1))
+    return count
+
+
+def work(payload: dict):
+    op = payload["op"]
+    if op == "ok":
+        return payload.get("value")
+    if op == "fail_until":
+        if _bump(payload["path"]) < payload["n"]:
+            raise RuntimeError(f"transient failure of {payload['path']}")
+        return "recovered"
+    if op == "exit_until":
+        if _bump(payload["path"]) < payload["n"]:
+            os._exit(9)
+        return "survived"
+    if op == "sleep_until":
+        if _bump(payload["path"]) < payload["n"]:
+            time.sleep(payload["secs"])
+        return "awake"
+    if op == "always_fail":
+        raise ValueError("permanent failure")
+    raise AssertionError(f"unknown op {op!r}")
