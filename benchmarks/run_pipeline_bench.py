@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Stage-timing benchmark: the staged pipeline and artifact reuse.
+
+Produces ``BENCH_pipeline.json`` with two sections:
+
+* ``stages`` -- per-stage wall time of one squash of the target
+  benchmark (best of several runs), straight from the pass manager's
+  :class:`StageReport`: where the rewriter actually spends its time.
+* ``theta_sweep`` -- wall-clock of a θ-grid size sweep over the
+  target benchmark, stage-artifact reuse off vs. on
+  (``REPRO_STAGE_REUSE``).  With reuse the squeeze, profile, and
+  baseline layout run once per benchmark instead of once per cell;
+  each timing runs in a fresh interpreter against an empty cell cache
+  so only the stage bundles differ.  Both sweeps must produce
+  identical rows.
+
+Usage::
+
+    python benchmarks/run_pipeline_bench.py [--name adpcm] [--scale 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+STAGE_REPEATS = 3
+SWEEP_THETAS = (0.0, 1e-5, 5e-5, 1e-4, 1e-3, 1.0)
+
+
+def bench_stages(name: str, scale: float) -> dict:
+    from repro.core.pipeline import SquashConfig, squash
+    from repro.workloads.mediabench import mediabench_program
+
+    bench = mediabench_program(name, scale=scale)
+    config = SquashConfig(theta=0.0)
+    best: dict[str, float] = {}
+    counters: dict[str, int] = {}
+    for _ in range(STAGE_REPEATS):
+        result = squash(bench.squeezed, bench.profile, config)
+        for timing in result.stage_report.stages:
+            if (
+                timing.name not in best
+                or timing.seconds < best[timing.name]
+            ):
+                best[timing.name] = timing.seconds
+        counters = result.stage_report.merged_counters()
+    return {
+        "benchmark": name,
+        "seconds": {k: round(v, 5) for k, v in best.items()},
+        "total_seconds": round(sum(best.values()), 5),
+        "counters": counters,
+    }
+
+
+def _child_sweep(name: str, scale: float) -> None:
+    """Subprocess entry: time one θ-grid size sweep."""
+    from repro.analysis.parallel import fig6_rows
+
+    start = time.perf_counter()
+    rows = fig6_rows(
+        (name,), scale=scale, thetas=SWEEP_THETAS, parallel=False
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        json.dumps(
+            {
+                "elapsed": elapsed,
+                "rows": [
+                    [row.name, row.theta_paper, row.reduction]
+                    for row in rows
+                ],
+            }
+        )
+    )
+
+
+def _run_sweep(name: str, scale: float, reuse: bool) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-pipe-bench-") as tmp:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        env["REPRO_CACHE_DIR"] = tmp
+        env["REPRO_STAGE_REUSE"] = "1" if reuse else "0"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(pathlib.Path(__file__).resolve()),
+                "--child",
+                "--name",
+                name,
+                "--scale",
+                str(scale),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def bench_sweep(name: str, scale: float) -> dict:
+    cold = _run_sweep(name, scale, reuse=False)
+    reused = _run_sweep(name, scale, reuse=True)
+    if cold["rows"] != reused["rows"]:
+        raise AssertionError(
+            "stage-artifact reuse changed the sweep rows"
+        )
+    return {
+        "benchmark": name,
+        "cells": len(cold["rows"]),
+        "cold_seconds": round(cold["elapsed"], 2),
+        "reuse_seconds": round(reused["elapsed"], 2),
+        "speedup": round(cold["elapsed"] / reused["elapsed"], 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--name", default="adpcm")
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_pipeline.json")
+    )
+    parser.add_argument("--child", action="store_true")
+    args = parser.parse_args()
+
+    if args.child:
+        _child_sweep(args.name, args.scale)
+        return
+
+    report = {
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "scale": args.scale,
+        "stages": bench_stages(args.name, args.scale),
+        "theta_sweep": bench_sweep(args.name, args.scale),
+    }
+    stages = report["stages"]["seconds"]
+    print(
+        "stages: "
+        + ", ".join(f"{k}={v * 1000:.1f}ms" for k, v in stages.items())
+    )
+    sweep = report["theta_sweep"]
+    print(
+        f"theta sweep ({sweep['cells']} cells): cold "
+        f"{sweep['cold_seconds']}s, with artifact reuse "
+        f"{sweep['reuse_seconds']}s ({sweep['speedup']}x)"
+    )
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

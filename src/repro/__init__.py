@@ -16,8 +16,10 @@ synthetic Alpha-like RISC substrate built from scratch:
   Huffman codes (Section 3 of the paper).
 * :mod:`repro.core` -- the paper's contribution: cold-code
   identification, compressible-region formation, buffer-safe analysis,
-  unswitching, stubs, the binary rewriter, and the runtime
+  unswitching, stubs, the staged binary rewriter, and the runtime
   decompressor.
+* :mod:`repro.pipeline` -- the pass manager running the stage DAG,
+  typed fingerprinted artifacts, and the plugin registries.
 * :mod:`repro.workloads` -- seeded synthetic MediaBench-like programs.
 * :mod:`repro.analysis` -- statistics and table/figure rendering for
   the paper's experiments.
@@ -35,6 +37,9 @@ _EXPORTS = {
     "SquashResult": ("repro.core.pipeline", "SquashResult"),
     "BufferStrategy": ("repro.core.runtime", "BufferStrategy"),
     "squeeze": ("repro.squeeze.pipeline", "squeeze"),
+    "PassManager": ("repro.pipeline.manager", "PassManager"),
+    "Stage": ("repro.pipeline.manager", "Stage"),
+    "StageReport": ("repro.pipeline.manager", "StageReport"),
     "Machine": ("repro.vm.machine", "Machine"),
     "RunResult": ("repro.vm.machine", "RunResult"),
     "collect_profile": ("repro.vm.profiler", "collect_profile"),

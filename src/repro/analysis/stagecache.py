@@ -1,0 +1,209 @@
+"""θ-invariant stage artifacts, shared across sweep cells.
+
+A sweep evaluates one benchmark at many configurations, but the first
+three pipeline stages — squeeze, profile collection, baseline layout
+(and the baseline timing run) — do not depend on θ or on any other
+:class:`~repro.core.config.SquashConfig` knob.  This module persists
+exactly those artifacts, keyed by ``(benchmark, scale)`` content
+digests, through the same crash-safe sealed-entry format as the cell
+cache (:mod:`repro.resilience.cache`), so a θ-grid sweep performs the
+invariant work once per benchmark and every cell resumes from the
+``ColdSet`` stage onward.
+
+The bundle holds the squeezed program in the portable dict form of
+:mod:`repro.program.serialize`; round-tripping is exact (block order,
+data order, entry, address-taken sets), so a squash over a loaded
+bundle is byte-identical to one over a freshly squeezed program — the
+golden-equivalence test pins this.
+
+``REPRO_STAGE_REUSE=0`` disables the whole mechanism (every cell falls
+back to :func:`~repro.workloads.mediabench.mediabench_program`).
+Counters in :data:`STAGE_COUNTERS` record how often the expensive path
+ran versus how often a bundle was reused — the sweep tests assert
+"once per benchmark" with them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+
+from repro.program.program import Program
+from repro.program.serialize import program_from_dict, program_to_dict
+from repro.resilience import read_entry, write_entry
+from repro.vm.profiler import Profile
+
+__all__ = [
+    "STAGE_COUNTERS",
+    "STAGE_SALT",
+    "StageBundle",
+    "bundle_path",
+    "load_bundle",
+    "reset_counters",
+    "stage_reuse_enabled",
+    "warm_bundle",
+]
+
+#: Invalidation salt for stage bundles; bump on any change to squeeze,
+#: profiling, baseline layout, or the bundle format itself.
+STAGE_SALT = "pgcc-stages-v1"
+
+#: Keys a bundle entry must carry to be trusted.
+BUNDLE_KEYS = (
+    "program",
+    "profile_counts",
+    "profile_sizes",
+    "tot_instr_ct",
+    "baseline_words",
+    "timing_input",
+    "base_cycles",
+    "base_output",
+    "base_exit_code",
+)
+
+#: How the invariant work was satisfied, process-wide:
+#: ``computed`` — full squeeze/profile/baseline ran;
+#: ``loaded`` — a persisted bundle was deserialized from disk;
+#: ``memo`` — an already-materialized bundle was reused in-process.
+STAGE_COUNTERS = {"computed": 0, "loaded": 0, "memo": 0}
+
+_MEMO: dict[tuple[str, float], "StageBundle"] = {}
+
+
+def reset_counters() -> None:
+    for key in STAGE_COUNTERS:
+        STAGE_COUNTERS[key] = 0
+    _MEMO.clear()
+
+
+def stage_reuse_enabled() -> bool:
+    """Stage-artifact reuse gate (``REPRO_STAGE_REUSE=0`` disables)."""
+    return os.environ.get("REPRO_STAGE_REUSE", "1").lower() not in (
+        "0",
+        "",
+        "no",
+        "off",
+    )
+
+
+@dataclass
+class StageBundle:
+    """The θ-invariant artifacts of one benchmark at one scale."""
+
+    name: str
+    scale: float
+    program: Program
+    profile: Profile
+    baseline_words: int
+    timing_input: list[int]
+    base_cycles: int
+    base_output: list[int]
+    base_exit_code: int
+
+
+def bundle_path(root: pathlib.Path, name: str, scale: float) -> pathlib.Path:
+    """Content-addressed location of the (name, scale) bundle."""
+    payload = json.dumps(
+        {"name": name, "scale": scale, "salt": STAGE_SALT}, sort_keys=True
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    return root / "stages" / digest[:2] / f"{digest}.json"
+
+
+def _to_entry(bundle: StageBundle) -> dict:
+    return {
+        "program": program_to_dict(bundle.program),
+        "profile_counts": bundle.profile.counts,
+        "profile_sizes": bundle.profile.sizes,
+        "tot_instr_ct": bundle.profile.tot_instr_ct,
+        "baseline_words": bundle.baseline_words,
+        "timing_input": bundle.timing_input,
+        "base_cycles": bundle.base_cycles,
+        "base_output": bundle.base_output,
+        "base_exit_code": bundle.base_exit_code,
+    }
+
+
+def _from_entry(name: str, scale: float, entry: dict) -> StageBundle:
+    return StageBundle(
+        name=name,
+        scale=scale,
+        program=program_from_dict(entry["program"]),
+        profile=Profile(
+            counts=dict(entry["profile_counts"]),
+            sizes=dict(entry["profile_sizes"]),
+            tot_instr_ct=entry["tot_instr_ct"],
+        ),
+        baseline_words=entry["baseline_words"],
+        timing_input=list(entry["timing_input"]),
+        base_cycles=entry["base_cycles"],
+        base_output=list(entry["base_output"]),
+        base_exit_code=entry["base_exit_code"],
+    )
+
+
+def _compute_bundle(name: str, scale: float) -> StageBundle:
+    """Run the invariant stages for real (squeeze, profile, baseline
+    layout, baseline timing run)."""
+    from repro.analysis.experiments import baseline_run
+    from repro.core.metrics import baseline_code_words
+    from repro.workloads.mediabench import mediabench_program
+
+    STAGE_COUNTERS["computed"] += 1
+    bench = mediabench_program(name, scale=scale)
+    base = baseline_run(name, scale)
+    return StageBundle(
+        name=name,
+        scale=scale,
+        program=bench.squeezed,
+        profile=bench.profile,
+        baseline_words=baseline_code_words(bench.layout, bench.squeezed),
+        timing_input=list(bench.timing_input),
+        base_cycles=base.cycles,
+        base_output=list(base.output),
+        base_exit_code=base.exit_code,
+    )
+
+
+def load_bundle(
+    root: pathlib.Path, name: str, scale: float
+) -> StageBundle | None:
+    """The persisted bundle, or ``None`` on miss / corruption."""
+    memo = _MEMO.get((name, scale))
+    if memo is not None:
+        STAGE_COUNTERS["memo"] += 1
+        return memo
+    entry = read_entry(bundle_path(root, name, scale), BUNDLE_KEYS)
+    if entry is None:
+        return None
+    try:
+        bundle = _from_entry(name, scale, entry)
+    except (KeyError, TypeError, ValueError):
+        # A stale or malformed bundle must never poison a sweep.
+        return None
+    STAGE_COUNTERS["loaded"] += 1
+    _MEMO[(name, scale)] = bundle
+    return bundle
+
+
+def warm_bundle(
+    root: pathlib.Path, name: str, scale: float, cache: bool = True
+) -> StageBundle:
+    """The (name, scale) bundle: loaded when persisted, computed (and
+    persisted) otherwise.  Called once per benchmark before fan-out so
+    workers only ever take the load path."""
+    if cache:
+        bundle = load_bundle(root, name, scale)
+        if bundle is not None:
+            return bundle
+    bundle = _compute_bundle(name, scale)
+    _MEMO[(name, scale)] = bundle
+    if cache:
+        try:
+            write_entry(bundle_path(root, name, scale), _to_entry(bundle))
+        except OSError:
+            pass
+    return bundle

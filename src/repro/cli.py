@@ -7,6 +7,8 @@ Usage::
     python -m repro fig7b --names adpcm gsm
     python -m repro squash gsm --theta 0.01 --run
     python -m repro squash gsm --save /tmp/gsm
+    python -m repro squash gsm --explain
+    python -m repro stages --names adpcm gsm
     python -m repro verify /tmp/gsm
     python -m repro faultsweep --names adpcm --faults 500 --seed 1
     python -m repro chaossweep --names adpcm --faults 60 --seed 1
@@ -194,6 +196,22 @@ def _cmd_squash(args) -> None:
         ok = run.output == base.output
         print(f"  timing run: {run.cycles / base.cycles:.3f}x relative "
               f"time, outputs {'match' if ok else 'DIVERGE'}")
+    if args.explain and result.stage_report is not None:
+        print()
+        print(result.stage_report.render())
+
+
+def _cmd_stages(args) -> None:
+    """Per-stage wall time and counters for each selected benchmark."""
+    for name in args.names:
+        config = SquashConfig(theta=args.theta).with_buffer_bound(
+            args.bound
+        )
+        result = squash_benchmark(name, args.scale, config)
+        print(f"{name} (theta={args.theta}, scale={args.scale}):")
+        if result.stage_report is not None:
+            print(result.stage_report.render())
+        print()
 
 
 def _cmd_verify(args) -> int:
@@ -253,6 +271,7 @@ _COMMANDS = {
     "ratio": _cmd_ratio,
     "safe": _cmd_safe,
     "squash": _cmd_squash,
+    "stages": _cmd_stages,
     "verify": _cmd_verify,
     "faultsweep": _cmd_faultsweep,
     "chaossweep": _cmd_chaossweep,
@@ -295,6 +314,10 @@ def main(argv: list[str] | None = None) -> int:
         help="also execute the squashed image (squash command)",
     )
     parser.add_argument(
+        "--explain", action="store_true",
+        help="print the per-stage pipeline report (squash command)",
+    )
+    parser.add_argument(
         "--save", default=None, metavar="PREFIX",
         help="save the squashed image to PREFIX.img/.json "
         "(squash command)",
@@ -325,7 +348,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "all":
             for name, command in _COMMANDS.items():
                 # Sub-commands needing extra arguments don't batch.
-                if name in ("squash", "verify", "faultsweep", "chaossweep"):
+                if name in (
+                    "squash", "stages", "verify", "faultsweep", "chaossweep"
+                ):
                     continue
                 command(args)
                 print()

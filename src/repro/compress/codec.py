@@ -38,6 +38,7 @@ from repro.compress.streams import (
     sentinel_item,
 )
 from repro.isa.fields import FIELD_WIDTHS, FieldKind
+from repro.pipeline.registry import Registry
 
 _OPCODE_BITS = 6
 _KIND_BITS = 5
@@ -71,6 +72,36 @@ class CodecConfig:
     def __post_init__(self) -> None:
         if self.coder not in _CODER_IDS:
             raise ValueError(f"unknown coder {self.coder!r}")
+
+
+#: Named codec presets: variant name -> f() -> CodecConfig.  The
+#: experiment harness and CLI select codecs by these names; a new
+#: variant (different coder, different MTF stream selection) is added
+#: by registering a factory, not by editing call sites.
+CODEC_VARIANTS: "Registry[Callable[[], CodecConfig]]" = Registry(
+    "codec variant"
+)
+
+CODEC_VARIANTS.register("huffman", CodecConfig)
+CODEC_VARIANTS.register(
+    "mtf+huffman",
+    lambda: CodecConfig(
+        mtf_kinds=frozenset({FieldKind.RA, FieldKind.RB, FieldKind.LIT8})
+    ),
+)
+CODEC_VARIANTS.register("dict", lambda: CodecConfig(coder="dict"))
+CODEC_VARIANTS.register(
+    "mtf+dict",
+    lambda: CodecConfig(
+        coder="dict",
+        mtf_kinds=frozenset({FieldKind.RA, FieldKind.RB, FieldKind.LIT8}),
+    ),
+)
+
+
+def codec_variant(name: str) -> CodecConfig:
+    """The preset :class:`CodecConfig` registered under *name*."""
+    return CODEC_VARIANTS.get(name)()
 
 
 @dataclass

@@ -1,0 +1,55 @@
+"""The squash configuration: every knob, defined exactly once.
+
+Historically the rewriter kept its own hand-copied ``RewriteConfig``
+mirror of :class:`SquashConfig`; a knob added to one could silently
+never reach the other.  There is now a single frozen dataclass and
+``RewriteConfig`` is an alias for it — a new field is visible to every
+layer the moment it is declared here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.compress.codec import CodecConfig
+from repro.core.costmodel import CostModel
+from repro.core.descriptor import BufferStrategy, RestoreStubScheme
+from repro.program.layout import TEXT_BASE
+
+__all__ = ["SquashConfig", "RewriteConfig"]
+
+
+@dataclass(frozen=True)
+class SquashConfig:
+    """Every knob of the squash pipeline."""
+
+    #: Cold-code threshold θ (Section 5).  0.0 compresses only
+    #: never-executed code; 1.0 considers everything cold.
+    theta: float = 0.0
+    cost: CostModel = field(default_factory=CostModel)
+    strategy: BufferStrategy = BufferStrategy.OVERWRITE
+    restore_scheme: RestoreStubScheme = RestoreStubScheme.RUNTIME
+    codec: CodecConfig = field(default_factory=CodecConfig)
+    #: Pack small regions together (Section 4).
+    pack: bool = True
+    #: Unswitch cold jump-table dispatches (Section 6.2).
+    unswitch: bool = True
+    #: Skip decoding when the requested region is already buffered.
+    buffer_caching: bool = True
+    #: Region construction plugin (see
+    #: :data:`repro.core.plan.REGION_STRATEGIES`): "dfs" (Section 4)
+    #: or "whole_function" (the future-work alternative of Section 9).
+    region_strategy: str = "dfs"
+    text_base: int = TEXT_BASE
+
+    def with_theta(self, theta: float) -> "SquashConfig":
+        return replace(self, theta=theta)
+
+    def with_buffer_bound(self, nbytes: int) -> "SquashConfig":
+        return replace(self, cost=self.cost.with_buffer_bound(nbytes))
+
+
+#: The rewriter consumes the same knobs the pipeline exposes.  Keeping
+#: this an *alias* (not a copy) is what guarantees a newly added knob
+#: can never be dropped between the two layers.
+RewriteConfig = SquashConfig

@@ -11,60 +11,52 @@ Typical use::
     result = squash(small, profile, SquashConfig(theta=1e-5))
     machine, runtime = result.make_machine(timing_input)
     run = machine.run()
+
+``squash`` runs the staged pipeline (cold → plan → classify → layout
+→ encode → emit; see :mod:`repro.pipeline`) and keeps the per-stage
+wall-time/counter report on the result — ``repro squash --explain``
+prints it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
-from repro.compress.codec import CodecConfig
-from repro.core.costmodel import CostModel
-from repro.core.descriptor import (
-    BufferStrategy,
-    RestoreStubScheme,
-    SquashDescriptor,
-)
+from repro.core.config import RewriteConfig, SquashConfig  # noqa: F401
+from repro.core.descriptor import SquashDescriptor
 from repro.core.metrics import (
     Footprint,
     baseline_code_words,
     squashed_footprint,
 )
-from repro.core.rewriter import RewriteConfig, RewriteInfo, rewrite
+from repro.core.plan import RewriteInfo
 from repro.core.runtime import SquashRuntime
+from repro.pipeline.manager import StageReport
 from repro.program.image import LoadedImage
-from repro.program.layout import TEXT_BASE, layout
+from repro.program.layout import layout
 from repro.program.program import Program
 from repro.vm.machine import Machine
 from repro.vm.profiler import Profile
 
+__all__ = [
+    "SquashConfig",
+    "SquashResult",
+    "LoadedSquash",
+    "load_squashed",
+    "squash",
+]
 
-@dataclass(frozen=True)
-class SquashConfig:
-    """Every knob of the squash pipeline."""
 
-    #: Cold-code threshold θ (Section 5).  0.0 compresses only
-    #: never-executed code; 1.0 considers everything cold.
-    theta: float = 0.0
-    cost: CostModel = field(default_factory=CostModel)
-    strategy: BufferStrategy = BufferStrategy.OVERWRITE
-    restore_scheme: RestoreStubScheme = RestoreStubScheme.RUNTIME
-    codec: CodecConfig = field(default_factory=CodecConfig)
-    #: Pack small regions together (Section 4).
-    pack: bool = True
-    #: Unswitch cold jump-table dispatches (Section 6.2).
-    unswitch: bool = True
-    #: Skip decoding when the requested region is already buffered.
-    buffer_caching: bool = True
-    #: Region construction: "dfs" (Section 4) or "whole_function"
-    #: (the future-work alternative of Section 9).
-    region_strategy: str = "dfs"
-    text_base: int = TEXT_BASE
+def _sibling_with_suffix(prefix, suffix: str):
+    """``<prefix><suffix>`` without mangling dots inside the name.
 
-    def with_theta(self, theta: float) -> "SquashConfig":
-        return replace(self, theta=theta)
+    ``pathlib.with_suffix`` would truncate a prefix like
+    ``adpcm.theta1e-5`` to ``adpcm.img``; appending preserves it.
+    """
+    import pathlib
 
-    def with_buffer_bound(self, nbytes: int) -> "SquashConfig":
-        return replace(self, cost=self.cost.with_buffer_bound(nbytes))
+    prefix = pathlib.Path(prefix)
+    return prefix.parent / (prefix.name + suffix)
 
 
 @dataclass
@@ -77,6 +69,8 @@ class SquashResult:
     footprint: Footprint
     baseline_words: int
     config: SquashConfig
+    #: Per-stage wall time and counters for this squash.
+    stage_report: StageReport | None = None
 
     @property
     def reduction(self) -> float:
@@ -121,18 +115,18 @@ class SquashResult:
         """Write the squashed executable to ``<prefix>.img`` (segments
         + memory) and ``<prefix>.json`` (the runtime descriptor).
 
+        Suffixes are appended (never substituted), so a prefix
+        containing dots — ``adpcm.theta1e-5`` — round-trips intact.
         The pair can be reloaded with :func:`load_squashed` and run
         without the original program or profile.
         """
         import json
-        import pathlib
 
         from repro.core.descriptor import descriptor_to_dict
         from repro.program.imagefile import save_image
 
-        prefix = pathlib.Path(prefix)
-        image_path = prefix.with_suffix(".img")
-        meta_path = prefix.with_suffix(".json")
+        image_path = _sibling_with_suffix(prefix, ".img")
+        meta_path = _sibling_with_suffix(prefix, ".json")
         save_image(self.image, image_path)
         meta_path.write_text(
             json.dumps(descriptor_to_dict(self.descriptor))
@@ -171,15 +165,13 @@ def load_squashed(prefix, verify: bool = True) -> LoadedSquash:
     verifies on first decompression).
     """
     import json
-    import pathlib
 
     from repro.core.descriptor import descriptor_from_dict
     from repro.program.imagefile import load_image
 
-    prefix = pathlib.Path(prefix)
-    image = load_image(prefix.with_suffix(".img"))
+    image = load_image(_sibling_with_suffix(prefix, ".img"))
     descriptor = descriptor_from_dict(
-        json.loads(prefix.with_suffix(".json").read_text())
+        json.loads(_sibling_with_suffix(prefix, ".json").read_text())
     )
     if verify:
         from repro.core.verify import check_image_integrity
@@ -192,35 +184,35 @@ def squash(
     program: Program,
     profile: Profile,
     config: SquashConfig | None = None,
+    baseline_words: int | None = None,
 ) -> SquashResult:
     """Compress *program*'s cold code guided by *profile*.
 
     *program* is typically the output of :func:`repro.squeeze.squeeze`
     and *profile* the result of profiling that same program.
+
+    *baseline_words* is the uncompressed code footprint; when the
+    caller already holds it (the sweep harness reuses the θ-invariant
+    baseline layout across cells) passing it skips re-laying-out the
+    baseline image.
     """
+    from repro.pipeline.stages import run_squash_pipeline
+
     config = config or SquashConfig()
-    rewrite_config = RewriteConfig(
-        theta=config.theta,
-        cost=config.cost,
-        strategy=config.strategy,
-        restore_scheme=config.restore_scheme,
-        codec=config.codec,
-        pack=config.pack,
-        unswitch=config.unswitch,
-        buffer_caching=config.buffer_caching,
-        region_strategy=config.region_strategy,
-        text_base=config.text_base,
+    emitted, report, _ = run_squash_pipeline(program, profile, config)
+    if baseline_words is None:
+        baseline_words = baseline_code_words(
+            layout(program, text_base=config.text_base), program
+        )
+    footprint = squashed_footprint(
+        emitted.image, emitted.info.jump_table_words
     )
-    image, descriptor, info = rewrite(program, profile, rewrite_config)
-    baseline = baseline_code_words(
-        layout(program, text_base=config.text_base), program
-    )
-    footprint = squashed_footprint(image, info.jump_table_words)
     return SquashResult(
-        image=image,
-        descriptor=descriptor,
-        info=info,
+        image=emitted.image,
+        descriptor=emitted.descriptor,
+        info=emitted.info,
         footprint=footprint,
-        baseline_words=baseline,
+        baseline_words=baseline_words,
         config=config,
+        stage_report=report,
     )

@@ -1,913 +1,57 @@
-"""The squash binary rewriter (Section 2 of the paper).
+"""The squash binary rewriter (Section 2 of the paper) — thin shim.
 
-Takes a (squeezed) program and its execution profile and produces the
-squashed image:
+The monolithic rewriter now lives as four cohesive stage modules run
+by the :class:`~repro.pipeline.manager.PassManager`:
 
-* never-compressed code, with every reference into compressed code
-  redirected to entry stubs;
-* entry stubs (2 words: a call to the decompressor plus the tag word
-  carrying the region index and buffer offset, Section 2.3);
-* the decompressor area with its 32 per-register entry points;
-* the function offset table (one word per region: the region's bit
-  offset in the compressed stream);
-* the runtime stub area (reference-counted restore stubs, or the
-  compile-time stubs under that scheme);
-* the runtime buffer (or per-region areas under DECOMPRESS_ONCE);
-* data; and, last, the compressed area (serialised Huffman tables plus
-  the merged codeword stream).
+* :mod:`repro.core.plan` — cold code, exclusions, region formation
+  (Sections 4-5) and the :data:`~repro.core.plan.REGION_STRATEGIES`
+  plugin registry;
+* :mod:`repro.core.classify` — buffer safety and call-site
+  classification (Sections 2, 6.1) with buffer-strategy /
+  restore-scheme policies as plugins;
+* :mod:`repro.core.layout` — segment and stub addressing;
+* :mod:`repro.core.emit` — region encoding, program coding
+  (Section 3), and image emission.
 
-Call sites inside compressed code are classified: calls to buffer-safe
-functions stay ordinary calls; calls to functions wholly inside the
-same region become buffer-relative calls; all other calls become the
-two-instruction CreateStub expansion of Figure 2 (pseudo-op XCALLD /
-XCALLI in the compressed stream) or, under the compile-time scheme, a
-branch to a pre-built restore stub.
+:func:`rewrite` keeps the historical one-call interface — it runs the
+stage DAG and returns ``(image, descriptor, info)`` exactly as before.
+``RewriteConfig`` is an alias of
+:class:`~repro.core.config.SquashConfig` (one source of truth for
+every knob) and :class:`RewriteInfo` is re-exported from the plan
+stage.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.compress.codec import CodecConfig, CompressedBlob, ProgramCodec
-from repro.compress.streams import (
-    CodecInstr,
-    OP_XCALLD,
-    OP_XCALLI,
-    instruction_to_codec,
-)
-from repro.core.buffersafe import buffer_safe_functions
-from repro.core.coldcode import identify_cold_blocks
-from repro.core.costmodel import CostModel
-from repro.core.descriptor import (
-    BufferStrategy,
-    CompileTimeStubInfo,
-    EntryStubInfo,
-    RegionDescriptor,
-    RestoreStubScheme,
-    SquashDescriptor,
-)
-from repro.core.integrity import blob_integrity
-from repro.core.regions import (
-    Region,
-    RegionContext,
-    entry_blocks,
-    form_regions,
-    form_regions_whole_function,
-    pack_regions,
-)
-from repro.core.unswitch import UnswitchResult, unswitch_cold_tables
-from repro.isa.encoding import encode
-from repro.isa.fields import FieldKind, to_bits
-from repro.isa.instruction import Instruction
-from repro.isa.opcodes import Op, REG_AT, REG_ZERO
-from repro.program.blocks import BasicBlock
-from repro.program.image import LoadedImage, Segment
-from repro.program.layout import (
-    TEXT_BASE,
-    branch_displacement,
-    encode_block_words,
-    needs_fallthrough_br,
-    resolve_data_ref,
-)
+from repro.core.config import RewriteConfig, SquashConfig
+from repro.core.descriptor import SquashDescriptor
+from repro.core.plan import RewriteInfo
+from repro.pipeline.manager import StageReport
+from repro.program.image import LoadedImage
 from repro.program.program import Program
 from repro.vm.profiler import Profile
 
-
-@dataclass
-class RewriteConfig:
-    """Knobs of the rewriter (a subset of SquashConfig)."""
-
-    theta: float = 0.0
-    cost: CostModel = field(default_factory=CostModel)
-    strategy: BufferStrategy = BufferStrategy.OVERWRITE
-    restore_scheme: RestoreStubScheme = RestoreStubScheme.RUNTIME
-    codec: CodecConfig = field(default_factory=CodecConfig)
-    pack: bool = True
-    unswitch: bool = True
-    buffer_caching: bool = True
-    #: "dfs" (the paper's bounded depth-first search) or
-    #: "whole_function" (the future-work alternative).
-    region_strategy: str = "dfs"
-    text_base: int = TEXT_BASE
-
-
-@dataclass
-class RewriteInfo:
-    """Measurements taken during rewriting (feeds the experiments)."""
-
-    cold: set[str] = field(default_factory=set)
-    compressible: set[str] = field(default_factory=set)
-    compressed_blocks: set[str] = field(default_factory=set)
-    regions: list[Region] = field(default_factory=list)
-    safe_functions: set[str] = field(default_factory=set)
-    unswitch: UnswitchResult = field(default_factory=UnswitchResult)
-    entry_stub_count: int = 0
-    xcall_sites: int = 0
-    intra_region_calls: int = 0
-    safe_calls: int = 0
-    compressed_original_instrs: int = 0
-    never_compressed_words: int = 0
-    jump_table_words: int = 0
-    blob: CompressedBlob | None = None
-
-    @property
-    def gamma_measured(self) -> float:
-        """Measured compression factor: compressed words / original
-        instruction words (tables included)."""
-        if not self.compressed_original_instrs or self.blob is None:
-            return 1.0
-        return self.blob.total_words / self.compressed_original_instrs
-
-
-# Call-site categories.
-_PLAIN = "plain"
-_CALL_SAFE = "call_safe"
-_CALL_INTRA = "call_intra"
-_CALL_CT = "call_ct"
-_XCALLD = "xcalld"
-_ICALL_CT = "icall_ct"
-_XCALLI = "xcalli"
+__all__ = ["RewriteConfig", "RewriteInfo", "rewrite"]
 
 
 def rewrite(
     program: Program,
     profile: Profile,
     config: RewriteConfig | None = None,
+    report: StageReport | None = None,
 ) -> tuple[LoadedImage, SquashDescriptor, RewriteInfo]:
     """Squash *program* guided by *profile*; returns the new image, the
-    runtime descriptor, and rewrite measurements."""
-    config = config or RewriteConfig()
-    cost = config.cost
-    prog = program.copy()
-    prof = Profile(
-        counts=dict(profile.counts),
-        sizes=dict(profile.sizes),
-        tot_instr_ct=profile.tot_instr_ct,
+    runtime descriptor, and rewrite measurements.
+
+    Pass a :class:`~repro.pipeline.manager.StageReport` as *report* to
+    collect per-stage wall time and counters.
+    """
+    from repro.pipeline.stages import run_squash_pipeline
+
+    config = config or SquashConfig()
+    emitted, stage_report, _ = run_squash_pipeline(
+        program, profile, config
     )
-    info = RewriteInfo()
-
-    # -- 1. cold code (Section 5) -----------------------------------------
-    cold = set(identify_cold_blocks(prof, config.theta).cold)
-    info.cold = set(cold)
-
-    # -- 2. unswitching / exclusions (Sections 2.2, 6.2) -------------------
-    excluded: set[str] = set()
-    if config.unswitch:
-        info.unswitch = unswitch_cold_tables(prog, cold, prof)
-        excluded |= info.unswitch.excluded
-    else:
-        for _, block in prog.all_blocks():
-            if block.jump_table is not None:
-                table = prog.data[block.jump_table.data_symbol]
-                excluded.add(block.label)
-                excluded.update(table.relocs.values())
-
-    for function in prog.functions.values():
-        if function.calls_setjmp:
-            excluded.update(function.blocks)
-        if any(
-            block.ends_in_indirect_jump and block.jump_table is None
-            for block in function.blocks.values()
-        ):
-            # Computed goto with unknown targets: exclude the function.
-            excluded.update(function.blocks)
-        if config.strategy is BufferStrategy.NO_CALLS:
-            for block in function.blocks.values():
-                if block.has_call:
-                    excluded.add(block.label)
-
-    compressible = cold - excluded
-    info.compressible = set(compressible)
-
-    # -- 3. regions (Section 4) ---------------------------------------------
-    ctx = RegionContext.build(prog)
-    entries = ctx.entries
-    data_ref_labels = _data_referenced_labels(prog, entries)
-    ctx.forced_entries |= data_ref_labels
-
-    if config.region_strategy == "whole_function":
-        regions = form_regions_whole_function(prog, compressible, cost, ctx)
-    elif config.region_strategy == "dfs":
-        regions = form_regions(prog, compressible, cost, ctx)
-    else:
-        raise ValueError(
-            f"unknown region strategy {config.region_strategy!r}"
-        )
-    if config.pack:
-        regions = pack_regions(prog, regions, cost, ctx)
-    info.regions = regions
-    compressed: set[str] = set()
-    for region in regions:
-        compressed.update(region.blocks)
-    info.compressed_blocks = compressed
-    region_of: dict[str, int] = {}
-    for region in regions:
-        for label in region.blocks:
-            region_of[label] = region.index
-
-    # -- 4. buffer safety (Section 6.1) --------------------------------------
-    safe = buffer_safe_functions(prog, compressed)
-    info.safe_functions = safe
-    all_indirect_safe = bool(prog.address_taken) and prog.address_taken <= safe
-
-    # -- 5. classify call sites; plan region layouts --------------------------
-    plans = [
-        _RegionPlan.build(
-            prog, region, ctx, safe, all_indirect_safe, config, info
-        )
-        for region in regions
-    ]
-
-    # -- 6. segment layout -----------------------------------------------------
-    layout = _SegmentLayout.build(
-        prog, compressed, plans, regions, ctx, config, data_ref_labels
-    )
-    info.entry_stub_count = len(layout.entry_stubs)
-    info.never_compressed_words = layout.text_words
-
-    # -- 7. encode regions ------------------------------------------------------
-    region_items = [
-        plan.encode(prog, layout, entries, region_of)
-        for plan in plans
-    ]
-    info.compressed_original_instrs = sum(
-        plan.original_instrs for plan in plans
-    )
-    if region_items:
-        _, blob = ProgramCodec.build(region_items, config.codec)
-    else:
-        blob = CompressedBlob(
-            table_words=[],
-            stream_words=[],
-            region_bit_offsets=[],
-            table_bits=0,
-            stream_bits=0,
-        )
-    info.blob = blob
-    info.jump_table_words = sum(
-        obj.size for obj in prog.data.values() if obj.is_jump_table
-    )
-
-    # -- 8. emit the image -------------------------------------------------------
-    image, descriptor = _emit(
-        prog, layout, plans, blob, config, cost
-    )
-    return image, descriptor, info
-
-
-def _data_referenced_labels(
-    program: Program, entries: dict[str, str]
-) -> set[str]:
-    """Block labels reachable through data relocations (jump tables and
-    function-pointer tables)."""
-    labels: set[str] = set()
-    for obj in program.data.values():
-        for target in obj.relocs.values():
-            if target in program.functions:
-                labels.add(entries[target])
-            else:
-                labels.add(target)
-    return labels
-
-
-@dataclass
-class _Site:
-    """One classified instruction inside a region."""
-
-    category: str
-    block: str
-    index: int
-    slot: int
-    #: COMPILE_TIME stub ordinal for *_CT categories.
-    ct_index: int | None = None
-
-
-@dataclass
-class _RegionPlan:
-    """Pass-1 layout of one region: slots and call-site categories."""
-
-    region: Region
-    block_slots: dict[str, int]
-    #: (block label, index) -> category
-    categories: dict[tuple[str, int], str]
-    #: (block label, index) -> compile-time stub ordinal
-    ct_sites: dict[tuple[str, int], int]
-    #: Blocks needing a trailing fallthrough br inside the buffer.
-    trailing_br: set[str]
-    expanded_size: int
-    original_instrs: int
-    base: int = 0  # assigned by _SegmentLayout
-
-    @classmethod
-    def build(
-        cls,
-        prog: Program,
-        region: Region,
-        ctx: RegionContext,
-        safe: set[str],
-        all_indirect_safe: bool,
-        config: RewriteConfig,
-        info: RewriteInfo,
-    ) -> "_RegionPlan":
-        region_set = set(region.blocks)
-        block_slots: dict[str, int] = {}
-        categories: dict[tuple[str, int], str] = {}
-        ct_sites: dict[tuple[str, int], int] = {}
-        trailing: set[str] = set()
-        slot = 1  # slot 0 is the entry jump
-        original = 0
-        runtime_scheme = config.restore_scheme is RestoreStubScheme.RUNTIME
-        once = config.strategy is BufferStrategy.DECOMPRESS_ONCE
-
-        for position, label in enumerate(region.blocks):
-            _, block = prog.find_block(label)
-            block_slots[label] = slot
-            original += block.size
-            for index, instr in enumerate(block.instrs):
-                category = _classify(
-                    prog, ctx, block, index, instr, region_set, safe,
-                    all_indirect_safe, runtime_scheme, once,
-                )
-                categories[(label, index)] = category
-                if category in (_CALL_CT, _ICALL_CT):
-                    ct_sites[(label, index)] = len(ct_sites)
-                if category in (_XCALLD, _XCALLI):
-                    info.xcall_sites += 1
-                    slot += 2
-                else:
-                    slot += 1
-                if category == _CALL_INTRA:
-                    info.intra_region_calls += 1
-                elif category == _CALL_SAFE:
-                    info.safe_calls += 1
-            next_label = (
-                region.blocks[position + 1]
-                if position + 1 < len(region.blocks)
-                else None
-            )
-            if needs_fallthrough_br(block, next_label):
-                trailing.add(label)
-                slot += 1
-
-        return cls(
-            region=region,
-            block_slots=block_slots,
-            categories=categories,
-            ct_sites=ct_sites,
-            trailing_br=trailing,
-            expanded_size=slot,
-            original_instrs=original,
-        )
-
-    def encode(
-        self,
-        prog: Program,
-        layout: "_SegmentLayout",
-        entries: dict[str, str],
-        region_of: dict[str, int],
-    ) -> list[CodecInstr]:
-        """Pass 2: produce the final codec items for this region."""
-        region_set = set(self.region.blocks)
-        base = self.base
-        items: list[CodecInstr] = []
-        slot = 1
-
-        def resolve_external(label: str) -> int:
-            return layout.resolve_code_label(label)
-
-        for position, label in enumerate(self.region.blocks):
-            _, block = prog.find_block(label)
-            for index, instr in enumerate(block.instrs):
-                category = self.categories[(label, index)]
-                here = base + slot
-                is_terminator = index == len(block.instrs) - 1
-                if category == _PLAIN and index in block.data_refs:
-                    resolved = resolve_data_ref(
-                        instr, layout.data_addr[block.data_refs[index]]
-                    )
-                    items.append(instruction_to_codec(resolved))
-                    slot += 1
-                elif category in (_CALL_SAFE, _CALL_INTRA):
-                    target_fn = block.call_targets[index]
-                    entry = entries[target_fn]
-                    if category == _CALL_INTRA:
-                        disp = self.block_slots[entry] - (slot + 1)
-                    else:
-                        disp = resolve_external(entry) - (here + 1)
-                    items.append(
-                        instruction_to_codec(
-                            Instruction(instr.op, ra=instr.ra, imm=disp)
-                        )
-                    )
-                    slot += 1
-                elif category in (_CALL_CT, _ICALL_CT):
-                    stub_addr = layout.ct_stub_addr(
-                        self.region.index, self.ct_sites[(label, index)]
-                    )
-                    items.append(
-                        instruction_to_codec(
-                            Instruction(
-                                Op.BR,
-                                ra=REG_ZERO,
-                                imm=branch_displacement(here, stub_addr),
-                            )
-                        )
-                    )
-                    slot += 1
-                elif category == _XCALLD:
-                    target_fn = block.call_targets[index]
-                    entry = entries[target_fn]
-                    target = (
-                        base + self.block_slots[entry]
-                        if entry in region_set
-                        else resolve_external(entry)
-                    )
-                    # the expanded br sits at here + 1
-                    disp = target - (here + 2)
-                    items.append(
-                        CodecInstr(
-                            OP_XCALLD,
-                            (instr.ra, to_bits(FieldKind.BDISP, disp)),
-                        )
-                    )
-                    slot += 2
-                elif category == _XCALLI:
-                    items.append(
-                        CodecInstr(OP_XCALLI, (instr.ra, instr.rb))
-                    )
-                    slot += 2
-                elif is_terminator and (
-                    instr.is_cond_branch or block.ends_in_uncond_branch
-                ):
-                    target_label = block.branch_target
-                    assert target_label is not None
-                    if target_label in region_set:
-                        disp = self.block_slots[target_label] - (slot + 1)
-                    else:
-                        disp = resolve_external(target_label) - (here + 1)
-                    items.append(
-                        instruction_to_codec(
-                            Instruction(instr.op, ra=instr.ra, imm=disp)
-                        )
-                    )
-                    slot += 1
-                else:
-                    items.append(instruction_to_codec(instr))
-                    slot += 1
-            if label in self.trailing_br:
-                target_label = block.fallthrough
-                assert target_label is not None
-                here = base + slot
-                if target_label in region_set:
-                    disp = self.block_slots[target_label] - (slot + 1)
-                else:
-                    disp = resolve_external(target_label) - (here + 1)
-                items.append(
-                    instruction_to_codec(
-                        Instruction(Op.BR, ra=REG_ZERO, imm=disp)
-                    )
-                )
-                slot += 1
-        assert slot == self.expanded_size, (slot, self.expanded_size)
-        return items
-
-
-def _classify(
-    prog: Program,
-    ctx: RegionContext,
-    block: BasicBlock,
-    index: int,
-    instr: Instruction,
-    region_set: set[str],
-    safe: set[str],
-    all_indirect_safe: bool,
-    runtime_scheme: bool,
-    once: bool,
-) -> str:
-    """Category of one instruction inside a compressed region."""
-    if index in block.call_targets:
-        target = block.call_targets[index]
-        if once:
-            # DECOMPRESS_ONCE never overwrites decompressed code, so
-            # every call can be ordinary: intra-region calls are
-            # area-relative, the rest go to the callee (or its entry
-            # stub) directly.
-            if ctx.entries[target] in region_set:
-                return _CALL_INTRA
-            return _CALL_SAFE
-        if target in safe:
-            return _CALL_SAFE
-        target_fn = prog.functions[target]
-        if all(b in region_set for b in target_fn.blocks):
-            # The callee lives wholly inside this region: its return
-            # address stays valid because every escape from the region
-            # during its execution is itself call-protected.
-            return _CALL_INTRA
-        return _XCALLD if runtime_scheme else _CALL_CT
-    if instr.is_indirect_call:
-        if once or all_indirect_safe:
-            return _PLAIN
-        return _XCALLI if runtime_scheme else _ICALL_CT
-    return _PLAIN
-
-
-@dataclass
-class _SegmentLayout:
-    """Addresses of every segment and every stub."""
-
-    text_base: int
-    text_words: int
-    text_block_addr: dict[str, int]
-    entry_stub_base: int
-    entry_stubs: list[EntryStubInfo]
-    entry_stub_of: dict[str, int]  # label -> stub addr
-    decomp_base: int
-    decomp_words: int
-    offset_table_addr: int
-    n_regions: int
-    stub_area_base: int
-    stub_area_words: int
-    stub_capacity: int
-    ct_stub_bases: dict[tuple[int, int], int]
-    ct_stub_infos: list[CompileTimeStubInfo]
-    buffer_base: int
-    buffer_words: int
-    data_base: int
-    data_addr: dict[str, int]
-    data_words: int
-    compressed_base: int
-    entries: dict[str, str]
-    text_plan: list[tuple[BasicBlock, str | None]]
-    region_bases: dict[int, int]
-
-    @classmethod
-    def build(
-        cls,
-        prog: Program,
-        compressed: set[str],
-        plans: list["_RegionPlan"],
-        regions: list[Region],
-        ctx: RegionContext,
-        config: RewriteConfig,
-        data_ref_labels: set[str],
-    ) -> "_SegmentLayout":
-        cost = config.cost
-        # Text plan: remaining (never-compressed) blocks per function.
-        text_plan: list[tuple[BasicBlock, str | None]] = []
-        for function in prog.functions.values():
-            remaining = [
-                b for b in function.block_order() if b.label not in compressed
-            ]
-            for position, block in enumerate(remaining):
-                next_label = (
-                    remaining[position + 1].label
-                    if position + 1 < len(remaining)
-                    else None
-                )
-                text_plan.append((block, next_label))
-
-        addr = config.text_base
-        text_block_addr: dict[str, int] = {}
-        for block, next_label in text_plan:
-            text_block_addr[block.label] = addr
-            addr += block.size
-            if needs_fallthrough_br(block, next_label):
-                addr += 1
-        text_words = addr - config.text_base
-
-        # Entry stubs: per region, blocks with external entries, in slot
-        # order.
-        entry_stub_base = addr
-        entry_stubs: list[EntryStubInfo] = []
-        entry_stub_of: dict[str, int] = {}
-        for plan in plans:
-            region_set = set(plan.region.blocks)
-            needing = entry_blocks(region_set, ctx)
-            for label in sorted(needing, key=lambda l: plan.block_slots[l]):
-                stub_addr = (
-                    entry_stub_base
-                    + len(entry_stubs) * cost.entry_stub_words
-                )
-                entry_stubs.append(
-                    EntryStubInfo(
-                        label=label,
-                        region=plan.region.index,
-                        offset=plan.block_slots[label],
-                        addr=stub_addr,
-                    )
-                )
-                entry_stub_of[label] = stub_addr
-        addr = entry_stub_base + len(entry_stubs) * cost.entry_stub_words
-
-        # Decompressor (entry points at decomp_base + r).
-        decomp_base = addr
-        decomp_words = max(cost.decompressor_words, 64)
-        addr += decomp_words
-
-        # Function offset table.
-        offset_table_addr = addr
-        addr += len(regions)
-
-        # Stub area.
-        stub_area_base = addr
-        ct_stub_bases: dict[tuple[int, int], int] = {}
-        ct_stub_infos: list[CompileTimeStubInfo] = []
-        if config.restore_scheme is RestoreStubScheme.COMPILE_TIME:
-            cursor = stub_area_base
-            for plan in plans:
-                for site_key in sorted(
-                    plan.ct_sites, key=plan.ct_sites.get
-                ):
-                    ordinal = plan.ct_sites[site_key]
-                    ct_stub_bases[(plan.region.index, ordinal)] = cursor
-                    cursor += SquashDescriptor.CT_STUB_WORDS
-            stub_area_words = cursor - stub_area_base
-            stub_capacity = 0
-        else:
-            stub_capacity = cost.stub_area_capacity
-            stub_area_words = (
-                stub_capacity * SquashDescriptor.RESTORE_STUB_WORDS
-            )
-        addr = stub_area_base + stub_area_words
-
-        # Runtime buffer (or per-region areas).
-        buffer_base = addr
-        region_bases: dict[int, int] = {}
-        if config.strategy is BufferStrategy.DECOMPRESS_ONCE:
-            cursor = buffer_base
-            for plan in plans:
-                region_bases[plan.region.index] = cursor
-                plan.base = cursor
-                cursor += plan.expanded_size
-            buffer_words = cursor - buffer_base
-        else:
-            buffer_words = max(
-                (plan.expanded_size for plan in plans), default=0
-            )
-            for plan in plans:
-                region_bases[plan.region.index] = buffer_base
-                plan.base = buffer_base
-        addr = buffer_base + buffer_words
-
-        # Data.
-        data_base = addr
-        data_addr: dict[str, int] = {}
-        for obj in prog.data.values():
-            data_addr[obj.name] = addr
-            addr += obj.size
-        data_words = addr - data_base
-
-        compressed_base = addr
-
-        return cls(
-            text_base=config.text_base,
-            text_words=text_words,
-            text_block_addr=text_block_addr,
-            entry_stub_base=entry_stub_base,
-            entry_stubs=entry_stubs,
-            entry_stub_of=entry_stub_of,
-            decomp_base=decomp_base,
-            decomp_words=decomp_words,
-            offset_table_addr=offset_table_addr,
-            n_regions=len(regions),
-            stub_area_base=stub_area_base,
-            stub_area_words=stub_area_words,
-            stub_capacity=stub_capacity,
-            ct_stub_bases=ct_stub_bases,
-            ct_stub_infos=ct_stub_infos,
-            buffer_base=buffer_base,
-            buffer_words=buffer_words,
-            data_base=data_base,
-            data_addr=data_addr,
-            data_words=data_words,
-            compressed_base=compressed_base,
-            entries=ctx.entries,
-            text_plan=text_plan,
-            region_bases=region_bases,
-        )
-
-    def resolve_code_label(self, label: str) -> int:
-        """Final address of a block: its text address, or its entry
-        stub if it was compressed."""
-        addr = self.text_block_addr.get(label)
-        if addr is not None:
-            return addr
-        stub = self.entry_stub_of.get(label)
-        if stub is None:
-            raise KeyError(
-                f"compressed block {label!r} is referenced but has no "
-                f"entry stub"
-            )
-        return stub
-
-    def resolve_func(self, name: str) -> int:
-        return self.resolve_code_label(self.entries[name])
-
-    def ct_stub_addr(self, region_index: int, ordinal: int) -> int:
-        return self.ct_stub_bases[(region_index, ordinal)]
-
-
-def _emit(
-    prog: Program,
-    layout: _SegmentLayout,
-    plans: list[_RegionPlan],
-    blob: CompressedBlob,
-    config: RewriteConfig,
-    cost: CostModel,
-) -> tuple[LoadedImage, SquashDescriptor]:
-    memory: list[int] = []
-
-    # Text.
-    for block, next_label in layout.text_plan:
-        memory.extend(
-            encode_block_words(
-                block,
-                layout.text_block_addr[block.label],
-                layout.resolve_code_label,
-                layout.resolve_func,
-                next_label,
-                lambda sym: layout.data_addr[sym],
-            )
-        )
-    assert len(memory) == layout.text_words
-
-    # Entry stubs: bsr $at, decomp_entry($at); tag.
-    for stub in layout.entry_stubs:
-        call = Instruction(
-            Op.BSR,
-            ra=REG_AT,
-            imm=branch_displacement(stub.addr, layout.decomp_base + REG_AT),
-        )
-        memory.append(encode(call))
-        memory.append((stub.region << 16) | stub.offset)
-
-    # Decompressor area (entry points + body; the body's execution is
-    # modelled by the runtime service, its space is real).
-    memory.extend([0] * layout.decomp_words)
-
-    # Function offset table: per-region bit offsets.
-    memory.extend(blob.region_bit_offsets)
-    assert layout.offset_table_addr + layout.n_regions == layout.stub_area_base
-
-    # Stub area.
-    if config.restore_scheme is RestoreStubScheme.COMPILE_TIME:
-        memory.extend(
-            _emit_ct_stubs(prog, layout, plans)
-        )
-    else:
-        memory.extend([0] * layout.stub_area_words)
-
-    # Runtime buffer / region areas.
-    memory.extend([0] * layout.buffer_words)
-
-    # Data.
-    for obj in prog.data.values():
-        for index, word in enumerate(obj.words):
-            target = obj.relocs.get(index)
-            if target is not None:
-                if target in prog.functions:
-                    word = layout.resolve_func(target)
-                else:
-                    word = layout.resolve_code_label(target)
-            memory.append(word & 0xFFFFFFFF)
-
-    # Compressed area, last: tables then stream.
-    table_addr = layout.compressed_base
-    memory.extend(blob.table_words)
-    stream_addr = table_addr + len(blob.table_words)
-    memory.extend(blob.stream_words)
-
-    base = layout.text_base
-    segments = [
-        Segment("text", base, layout.text_words),
-        Segment(
-            "entry_stubs",
-            layout.entry_stub_base,
-            len(layout.entry_stubs) * cost.entry_stub_words,
-        ),
-        Segment("decompressor", layout.decomp_base, layout.decomp_words),
-        Segment("offset_table", layout.offset_table_addr, layout.n_regions),
-        Segment("stub_area", layout.stub_area_base, layout.stub_area_words),
-        Segment("runtime_buffer", layout.buffer_base, layout.buffer_words),
-        Segment("data", layout.data_base, layout.data_words),
-        Segment(
-            "compressed",
-            layout.compressed_base,
-            len(blob.table_words) + len(blob.stream_words),
-        ),
-    ]
-
-    symbols: dict[str, int] = dict(layout.text_block_addr)
-    for name, entry in layout.entries.items():
-        if name in prog.functions:
-            try:
-                symbols[name] = layout.resolve_code_label(entry)
-            except KeyError:
-                pass
-    symbols.update(layout.data_addr)
-
-    image = LoadedImage(
-        memory=memory,
-        base=base,
-        entry_pc=layout.resolve_func(prog.entry),  # type: ignore[arg-type]
-        segments=segments,
-        symbols=symbols,
-        block_heads={
-            addr: label for label, addr in layout.text_block_addr.items()
-        },
-    )
-
-    descriptor = SquashDescriptor(
-        strategy=config.strategy,
-        restore_scheme=config.restore_scheme,
-        cost=cost,
-        decomp_base=layout.decomp_base,
-        decomp_words=layout.decomp_words,
-        offset_table_addr=layout.offset_table_addr,
-        table_addr=table_addr,
-        table_words=len(blob.table_words),
-        stream_addr=stream_addr,
-        stream_words=len(blob.stream_words),
-        stub_area_base=layout.stub_area_base,
-        stub_area_words=layout.stub_area_words,
-        stub_capacity=layout.stub_capacity,
-        buffer_base=layout.buffer_base,
-        buffer_words=layout.buffer_words,
-        regions=[
-            RegionDescriptor(
-                index=plan.region.index,
-                bit_offset=blob.region_bit_offsets[plan.region.index],
-                expanded_size=plan.expanded_size,
-                base=plan.base,
-                block_slots=dict(plan.block_slots),
-                original_instrs=plan.original_instrs,
-            )
-            for plan in plans
-        ],
-        entry_stubs=list(layout.entry_stubs),
-        compile_time_stubs=list(layout.ct_stub_infos),
-        buffer_caching=config.buffer_caching,
-        integrity=blob_integrity(blob),
-    )
-    return image, descriptor
-
-
-def _emit_ct_stubs(
-    prog: Program,
-    layout: _SegmentLayout,
-    plans: list[_RegionPlan],
-) -> list[int]:
-    """Materialise compile-time restore stubs:
-    ``call ; bsr $at, decomp ; tag``."""
-    words: list[int] = []
-    for plan in plans:
-        for (label, index), ordinal in sorted(
-            plan.ct_sites.items(), key=lambda kv: kv[1]
-        ):
-            stub_addr = layout.ct_stub_addr(plan.region.index, ordinal)
-            _, block = prog.find_block(label)
-            instr = block.instrs[index]
-            if index in block.call_targets:
-                callee_entry = layout.entries[block.call_targets[index]]
-                if callee_entry in plan.block_slots:
-                    # Callee entry is inside this region: call its
-                    # buffer slot (the region is buffered while the
-                    # stub runs).
-                    target = plan.base + plan.block_slots[callee_entry]
-                else:
-                    target = layout.resolve_func(block.call_targets[index])
-                call = Instruction(
-                    instr.op,
-                    ra=instr.ra,
-                    imm=branch_displacement(stub_addr, target),
-                )
-            else:  # indirect call
-                call = Instruction(Op.JSR, ra=instr.ra, rb=instr.rb)
-            decomp_call = Instruction(
-                Op.BSR,
-                ra=REG_AT,
-                imm=branch_displacement(
-                    stub_addr + 1, layout.decomp_base + REG_AT
-                ),
-            )
-            # Return offset: the slot after the call site in the buffer.
-            return_offset = _site_slot(plan, label, index) + 1
-            tag = (plan.region.index << 16) | return_offset
-            words.extend([encode(call), encode(decomp_call), tag])
-            layout.ct_stub_infos.append(
-                CompileTimeStubInfo(
-                    addr=stub_addr,
-                    region=plan.region.index,
-                    return_offset=return_offset,
-                )
-            )
-    return words
-
-
-def _site_slot(plan: _RegionPlan, label: str, index: int) -> int:
-    """Buffer slot of instruction *index* of block *label*."""
-    slot = plan.block_slots[label]
-    for position in range(index):
-        category = plan.categories[(label, position)]
-        slot += 2 if category in (_XCALLD, _XCALLI) else 1
-    return slot
+    if report is not None:
+        report.stages.extend(stage_report.stages)
+    return emitted.image, emitted.descriptor, emitted.info

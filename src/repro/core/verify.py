@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from repro.compress.codec import ProgramCodec
 from repro.compress.streams import OP_XCALLD, OP_XCALLI
 from repro.core.descriptor import SquashDescriptor
+from repro.core.pipeline import _sibling_with_suffix
 from repro.core.integrity import (
     bit_range_crc,
     check_area_crc,
@@ -237,7 +238,7 @@ def verify_squashed(prefix, deep: bool = True) -> VerifyReport:
     def load_img():
         from repro.program.imagefile import load_image
 
-        state["image"] = load_image(prefix.with_suffix(".img"))
+        state["image"] = load_image(_sibling_with_suffix(prefix, ".img"))
 
     def load_desc():
         import json
@@ -245,7 +246,7 @@ def verify_squashed(prefix, deep: bool = True) -> VerifyReport:
         from repro.core.descriptor import descriptor_from_dict
 
         state["descriptor"] = descriptor_from_dict(
-            json.loads(prefix.with_suffix(".json").read_text())
+            json.loads(_sibling_with_suffix(prefix, ".json").read_text())
         )
 
     def integrity_present():

@@ -1,0 +1,228 @@
+"""Typed, fingerprinted intermediate artifacts of the squash pipeline.
+
+The staged pipeline (Sections 2-6 of the paper) flows::
+
+    Program --squeeze--> SqueezedProgram --profile--> ProfileArtifact
+            --cold--> ColdSet --plan--> RegionPlan
+            --classify--> ClassifiedSites --layout--> Layout
+            --emit--> EmittedImage
+
+Every artifact can report a **content fingerprint**: a SHA-256 over a
+canonical serialisation of the data that determines everything
+downstream.  Two artifacts with equal fingerprints are
+interchangeable, which is what lets the sweep harness reuse the
+θ-invariant prefix (squeeze output, profile, baseline layout) across
+sweep cells through the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # import-light: artifacts are used across layers
+    from repro.program.program import Program
+    from repro.vm.profiler import Profile
+
+__all__ = [
+    "canonical",
+    "stable_digest",
+    "program_fingerprint",
+    "profile_fingerprint",
+    "config_fingerprint",
+]
+
+
+def canonical(value: Any) -> Any:
+    """A JSON-stable form of configs and stats (dataclasses, enums,
+    sets, tuples) — shared by fingerprints and the sweep cell cache."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (frozenset, set)):
+        return sorted(canonical(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): canonical(val) for key, val in value.items()}
+    return value
+
+
+def stable_digest(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of *value*."""
+    payload = json.dumps(canonical(value), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def program_fingerprint(program: "Program") -> str:
+    """Content fingerprint of a program IR.
+
+    Covers everything squash consumes: function/block order,
+    instruction words, symbolic control flow, relocations, data, the
+    entry point, and the address-taken set.
+    """
+    from repro.program.serialize import program_to_dict
+
+    return stable_digest(program_to_dict(program))
+
+
+def profile_fingerprint(profile: "Profile") -> str:
+    """Content fingerprint of an execution profile."""
+    return stable_digest(
+        {
+            "counts": profile.counts,
+            "sizes": profile.sizes,
+            "tot_instr_ct": profile.tot_instr_ct,
+        }
+    )
+
+
+def config_fingerprint(config: Any) -> str:
+    """Content fingerprint of a (dataclass) configuration."""
+    return stable_digest(config)
+
+
+@dataclass
+class SqueezedProgram:
+    """Squeeze output: the compacted program plus pass statistics."""
+
+    program: "Program"
+    stats: Any = None
+    _fingerprint: str | None = field(default=None, repr=False)
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = program_fingerprint(self.program)
+        return self._fingerprint
+
+
+@dataclass
+class ProfileArtifact:
+    """An execution profile tied to the program it was collected on."""
+
+    profile: "Profile"
+    _fingerprint: str | None = field(default=None, repr=False)
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = profile_fingerprint(self.profile)
+        return self._fingerprint
+
+
+@dataclass
+class ColdSet:
+    """Cold blocks at one θ (Section 5) plus the quantities behind
+    the cut."""
+
+    cold: set[str]
+    cutoff: int
+    cold_weight: int
+    budget: float
+    theta: float
+
+    @property
+    def fingerprint(self) -> str:
+        return stable_digest(
+            {"cold": sorted(self.cold), "theta": self.theta}
+        )
+
+
+@dataclass
+class RegionPlan:
+    """Region formation output (Section 4): the working program copy
+    (unswitching may have rewritten it), the compressible set, and the
+    packed regions."""
+
+    program: "Program"
+    cold: set[str]
+    excluded: set[str]
+    compressible: set[str]
+    regions: list  # list[repro.core.regions.Region]
+    region_of: dict[str, int]
+    ctx: Any  # repro.core.regions.RegionContext
+    data_ref_labels: set[str]
+    unswitch: Any  # repro.core.unswitch.UnswitchResult
+
+    @property
+    def fingerprint(self) -> str:
+        return stable_digest(
+            {
+                "regions": [list(r.blocks) for r in self.regions],
+                "excluded": sorted(self.excluded),
+            }
+        )
+
+
+@dataclass
+class ClassifiedSites:
+    """Per-region call-site classification (Section 2 / Figure 2)."""
+
+    plans: list  # list[repro.core.classify.RegionSitePlan]
+    safe_functions: set[str]
+    all_indirect_safe: bool
+
+    @property
+    def fingerprint(self) -> str:
+        return stable_digest(
+            {
+                "safe": sorted(self.safe_functions),
+                "categories": [
+                    sorted(
+                        (label, index, category)
+                        for (label, index), category
+                        in plan.categories.items()
+                    )
+                    for plan in self.plans
+                ],
+            }
+        )
+
+
+@dataclass
+class Layout:
+    """Final segment layout: every area and stub address."""
+
+    segments: Any  # repro.core.layout.SegmentLayout
+
+    @property
+    def fingerprint(self) -> str:
+        seg = self.segments
+        return stable_digest(
+            {
+                "text_words": seg.text_words,
+                "entry_stub_base": seg.entry_stub_base,
+                "decomp_base": seg.decomp_base,
+                "offset_table_addr": seg.offset_table_addr,
+                "stub_area_base": seg.stub_area_base,
+                "buffer_base": seg.buffer_base,
+                "data_base": seg.data_base,
+                "compressed_base": seg.compressed_base,
+            }
+        )
+
+
+@dataclass
+class EmittedImage:
+    """The squashed executable: image, runtime descriptor, and the
+    rewrite measurements accumulated across the stages."""
+
+    image: Any  # repro.program.image.LoadedImage
+    descriptor: Any  # repro.core.descriptor.SquashDescriptor
+    info: Any  # repro.core.plan.RewriteInfo
+
+    @property
+    def fingerprint(self) -> str:
+        words = hashlib.sha256()
+        for word in self.image.memory:
+            words.update((word & 0xFFFFFFFF).to_bytes(4, "little"))
+        return words.hexdigest()

@@ -1,0 +1,92 @@
+"""Plugin registries: named strategy points of the squash pipeline.
+
+A :class:`Registry` is a typed name -> plugin table with decorator
+registration.  Every point where the pipeline used to branch on a
+string or an enum — region-formation strategy, squeeze pass, codec
+variant, buffer strategy, restore scheme — is now a registry the
+respective layer populates at import time, so an alternative backend
+is added by registering a plugin rather than by editing a dispatch
+site:
+
+* :data:`repro.core.plan.REGION_STRATEGIES` — ``dfs`` /
+  ``whole_function`` region formation (Section 4 / Section 9).
+* :data:`repro.core.classify.BUFFER_STRATEGIES` and
+  :data:`repro.core.classify.RESTORE_SCHEMES` — call-site
+  classification policies (Sections 2.2, 6).
+* :data:`repro.squeeze.pipeline.SQUEEZE_PASSES` — compaction passes,
+  with pass order/rounds as data.
+* :data:`repro.compress.codec.CODEC_VARIANTS` — named
+  :class:`~repro.compress.codec.CodecConfig` presets
+  (``huffman`` / ``mtf+huffman`` / ``dict``).
+
+This module is deliberately dependency-free so any layer can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Registry", "RegistryError"]
+
+
+class RegistryError(ValueError, KeyError):
+    """An unknown or duplicate plugin name.
+
+    Subclasses both ``ValueError`` and ``KeyError``: unknown-name
+    lookups historically raised either, depending on the dispatch
+    site.
+    """
+
+
+class Registry(Generic[T]):
+    """A small name -> plugin table with decorator registration."""
+
+    def __init__(self, kind: str) -> None:
+        #: Human-readable description used in error messages.
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+
+    def register(
+        self, name: str, obj: T | None = None
+    ) -> T | Callable[[T], T]:
+        """Register *obj* under *name*; usable as a decorator::
+
+            @REGION_STRATEGIES.register("dfs")
+            def form_regions(...): ...
+        """
+        if obj is None:
+            def decorator(value: T) -> T:
+                self.register(name, value)
+                return value
+
+            return decorator
+        if name in self._entries:
+            raise RegistryError(
+                f"duplicate {self.kind} plugin {name!r}"
+            )
+        self._entries[name] = obj
+        return obj
+
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)

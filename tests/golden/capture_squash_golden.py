@@ -1,0 +1,66 @@
+"""Regenerate ``squash_golden.json`` from the current pipeline.
+
+Run only after an *intentional* change to squash output::
+
+    PYTHONPATH=src python tests/golden/capture_squash_golden.py
+
+The digests pin the emitted image bytes, footprint, baseline size,
+modelled timing-run cycles, and program output for every benchmark ×
+θ cell at a fixed scale; ``tests/test_squash_golden.py`` asserts the
+pipeline still reproduces them exactly.
+"""
+
+import hashlib
+import json
+import pathlib
+import time
+
+from repro.analysis.experiments import map_theta, squash_benchmark
+from repro.core.pipeline import SquashConfig
+from repro.workloads.mediabench import MEDIABENCH, mediabench_program
+
+SCALE = 0.2
+THETAS = (0.0, 1e-5, 5e-5, 1.0)
+
+
+def image_digest(image) -> str:
+    h = hashlib.sha256()
+    h.update(image.base.to_bytes(8, "little"))
+    h.update(image.entry_pc.to_bytes(8, "little"))
+    for seg in image.segments:
+        h.update(f"{seg.name}:{seg.start}:{seg.size};".encode())
+    for w in image.memory:
+        h.update((w & 0xFFFFFFFF).to_bytes(4, "little"))
+    return h.hexdigest()
+
+
+def main() -> None:
+    golden = {"scale": SCALE, "thetas": list(THETAS), "cells": {}}
+    t0 = time.time()
+    for name in MEDIABENCH:
+        bench = mediabench_program(name, scale=SCALE)
+        for theta_paper in THETAS:
+            config = SquashConfig(theta=map_theta(theta_paper))
+            result = squash_benchmark(name, SCALE, config)
+            run, _ = result.run(bench.timing_input, max_steps=500_000_000)
+            golden["cells"][f"{name}@{theta_paper}"] = {
+                "image_sha256": image_digest(result.image),
+                "footprint_total": result.footprint.total,
+                "baseline_words": result.baseline_words,
+                "cycles": run.cycles,
+                "output_sha256": hashlib.sha256(
+                    b"".join(
+                        (w & 0xFFFFFFFF).to_bytes(4, "little")
+                        for w in run.output
+                    )
+                ).hexdigest(),
+                "exit_code": run.exit_code,
+            }
+        print(name, round(time.time() - t0, 1))
+    out = pathlib.Path(__file__).parent / "squash_golden.json"
+    out.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    print("wrote", len(golden["cells"]), "cells to", out)
+
+
+if __name__ == "__main__":
+    main()

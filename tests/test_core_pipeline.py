@@ -116,3 +116,73 @@ def test_theta_zero_overhead_is_zero_on_profile_path(
     run, _ = result.run(MINI_PROFILE_INPUT, max_steps=10_000_000)
     # identical cycle count modulo layout-inserted jumps
     assert abs(run.cycles - baseline.cycles) <= baseline.cycles * 0.02
+
+
+def test_save_preserves_dotted_prefix(
+    mini_program, mini_profile, tmp_path
+):
+    """`with_suffix` would mangle `adpcm.theta1e-5` into `adpcm.img`;
+    save must append suffixes, never substitute them."""
+    from repro.core.pipeline import load_squashed
+
+    result = squash(mini_program, mini_profile, SquashConfig(theta=1.0))
+    prefix = tmp_path / "adpcm.theta1e-5"
+    image_path, meta_path = result.save(prefix)
+    assert image_path.endswith("adpcm.theta1e-5.img")
+    assert meta_path.endswith("adpcm.theta1e-5.json")
+
+    # Two dotted prefixes in one directory must not collide.
+    other = squash(mini_program, mini_profile, SquashConfig(theta=0.0))
+    other.save(tmp_path / "adpcm.theta0")
+    names = sorted(p.name for p in tmp_path.iterdir())
+    assert names == [
+        "adpcm.theta0.img", "adpcm.theta0.json",
+        "adpcm.theta1e-5.img", "adpcm.theta1e-5.json",
+    ]
+
+    # The offline integrity checker resolves the same paths.
+    from repro.core.verify import verify_squashed
+
+    report = verify_squashed(prefix)
+    assert report.ok, report.fault
+
+    loaded = load_squashed(prefix)
+    run, _ = result.run(MINI_TIMING_INPUT, max_steps=10_000_000)
+    machine, _ = loaded.make_machine(MINI_TIMING_INPUT)
+    reloaded = machine.run(max_steps=10_000_000)
+    assert reloaded.output == run.output
+    assert reloaded.exit_code == run.exit_code
+
+
+def test_rewrite_config_is_squash_config():
+    """One source of truth for every knob: RewriteConfig must be the
+    same class, not a hand-copied twin."""
+    from repro.core.config import RewriteConfig
+    from repro.core.rewriter import RewriteConfig as ViaShim
+
+    assert RewriteConfig is SquashConfig
+    assert ViaShim is SquashConfig
+
+
+def test_squash_accepts_precomputed_baseline(mini_program, mini_profile):
+    """The sweep harness passes the θ-invariant baseline size through;
+    the result must be identical to deriving it in-call."""
+    derived = squash(mini_program, mini_profile, SquashConfig(theta=1.0))
+    passed = squash(
+        mini_program,
+        mini_profile,
+        SquashConfig(theta=1.0),
+        baseline_words=derived.baseline_words,
+    )
+    assert passed.baseline_words == derived.baseline_words
+    assert passed.footprint == derived.footprint
+    assert passed.image.memory == derived.image.memory
+
+
+def test_stage_report_attached(mini_program, mini_profile):
+    result = squash(mini_program, mini_profile, SquashConfig(theta=1.0))
+    assert result.stage_report is not None
+    assert result.stage_report.executed() == [
+        "cold", "plan", "classify", "layout", "encode", "emit",
+    ]
+    assert result.stage_report.total_seconds > 0

@@ -1,0 +1,224 @@
+"""The pass manager, artifact store, stage report, and registries."""
+
+import pytest
+
+from repro.pipeline.manager import (
+    ArtifactStore,
+    PassManager,
+    PipelineError,
+    Stage,
+    StageReport,
+)
+from repro.pipeline.registry import Registry, RegistryError
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        assert reg.get("a") == 1
+        assert "a" in reg
+        assert reg.names() == ("a",)
+
+    def test_register_as_decorator(self):
+        reg = Registry("widget")
+
+        @reg.register("f")
+        def f():
+            return 42
+
+        assert reg.get("f") is f
+
+    def test_unknown_name_lists_registered(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        reg.register("b", 2)
+        with pytest.raises(RegistryError, match="unknown widget 'c'"):
+            reg.get("c")
+        with pytest.raises(RegistryError, match="a, b"):
+            reg.get("c")
+
+    def test_error_is_value_and_key_error(self):
+        # Pre-registry call sites catch ValueError/KeyError; both must
+        # keep working.
+        reg = Registry("widget")
+        with pytest.raises(ValueError):
+            reg.get("nope")
+        with pytest.raises(KeyError):
+            reg.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        with pytest.raises(RegistryError, match="duplicate widget"):
+            reg.register("a", 2)
+
+
+def _linear_stages():
+    return [
+        Stage("one", "a", lambda ctx: 1),
+        Stage("two", "b", lambda ctx, a: a + 1, requires=("a",)),
+        Stage("three", "c", lambda ctx, b: b * 2, requires=("b",)),
+    ]
+
+
+class TestPassManager:
+    def test_runs_in_dependency_order(self):
+        # Declared out of order on purpose.
+        stages = list(reversed(_linear_stages()))
+        store, report = PassManager(stages).run()
+        assert store["c"] == 4
+        assert [t.name for t in report.stages] == ["one", "two", "three"]
+
+    def test_preloaded_artifact_skips_stage(self):
+        store, report = PassManager(_linear_stages()).run({"a": 10})
+        assert store["b"] == 11
+        assert report.timing("one").reused
+        assert report.executed() == ["two", "three"]
+
+    def test_counters_reach_report(self):
+        def fn(ctx):
+            ctx.count("things", 3)
+            ctx.count("things", 2)
+            return None
+
+        _, report = PassManager([Stage("s", "x", fn)]).run()
+        assert report.counter("s", "things") == 5
+        assert report.merged_counters() == {"s.things": 5}
+
+    def test_cycle_detected(self):
+        stages = [
+            Stage("one", "a", lambda ctx, b: b, requires=("b",)),
+            Stage("two", "b", lambda ctx, a: a, requires=("a",)),
+        ]
+        with pytest.raises(PipelineError, match="cycle"):
+            PassManager(stages).order()
+
+    def test_missing_requirement_detected(self):
+        stages = [Stage("one", "a", lambda ctx, z: z, requires=("z",))]
+        with pytest.raises(PipelineError, match="unsatisfiable"):
+            PassManager(stages).order()
+
+    def test_duplicate_provider_rejected(self):
+        stages = [
+            Stage("one", "a", lambda ctx: 1),
+            Stage("two", "a", lambda ctx: 2),
+        ]
+        with pytest.raises(PipelineError, match="two providers"):
+            PassManager(stages)
+
+    def test_missing_artifact_error_names_available(self):
+        store = ArtifactStore({"present": 1})
+        with pytest.raises(PipelineError, match="never produced"):
+            store["absent"]
+
+    def test_report_render_marks_reused(self):
+        _, report = PassManager(_linear_stages()).run({"a": 10})
+        rendered = report.render()
+        assert "reused" in rendered
+        assert "total" in rendered
+
+    def test_report_to_dict_round_trip_fields(self):
+        _, report = PassManager(_linear_stages()).run()
+        payload = report.to_dict()
+        assert payload["total_seconds"] == pytest.approx(
+            report.total_seconds
+        )
+        assert [s["name"] for s in payload["stages"]] == [
+            "one", "two", "three",
+        ]
+
+
+class TestStageReport:
+    def test_timing_unknown_stage(self):
+        with pytest.raises(KeyError):
+            StageReport().timing("nope")
+
+
+class TestSquashStages:
+    def test_squash_dag_orders_and_reports(
+        self, mini_program, mini_profile
+    ):
+        from repro.core.pipeline import SquashConfig
+        from repro.pipeline.stages import run_squash_pipeline
+
+        emitted, report, store = run_squash_pipeline(
+            mini_program, mini_profile, SquashConfig(theta=1.0)
+        )
+        assert [t.name for t in report.stages] == [
+            "cold", "plan", "classify", "layout", "encode", "emit",
+        ]
+        assert emitted.image.memory
+        assert store["emitted"] is emitted
+        assert report.counter("plan", "regions") == len(
+            emitted.info.regions
+        )
+
+    def test_source_program_not_mutated(self, mini_program, mini_profile):
+        from repro.core.pipeline import SquashConfig
+        from repro.pipeline.stages import run_squash_pipeline
+        from repro.program.serialize import program_to_dict
+
+        before = program_to_dict(mini_program)
+        run_squash_pipeline(
+            mini_program, mini_profile, SquashConfig(theta=1.0)
+        )
+        assert program_to_dict(mini_program) == before
+
+
+class TestRegisteredPlugins:
+    def test_region_strategies_registered(self):
+        from repro.core.plan import REGION_STRATEGIES
+
+        assert set(REGION_STRATEGIES.names()) == {"dfs", "whole_function"}
+
+    def test_buffer_and_restore_policies_registered(self):
+        from repro.core.classify import BUFFER_STRATEGIES, RESTORE_SCHEMES
+
+        assert set(BUFFER_STRATEGIES.names()) == {
+            "no_calls", "decompress_once", "overwrite",
+        }
+        assert set(RESTORE_SCHEMES.names()) == {"compile_time", "runtime"}
+
+    def test_codec_variants_registered(self):
+        from repro.compress.codec import CODEC_VARIANTS, codec_variant
+
+        assert "huffman" in CODEC_VARIANTS
+        assert "mtf+huffman" in CODEC_VARIANTS
+        assert codec_variant("huffman").coder == "huffman"
+        assert codec_variant("dict").coder == "dict"
+        assert codec_variant("mtf+huffman").mtf_kinds
+
+    def test_squeeze_passes_registered(self):
+        from repro.squeeze.pipeline import (
+            DEFAULT_SQUEEZE_ORDER,
+            SQUEEZE_PASSES,
+        )
+
+        assert set(SQUEEZE_PASSES.names()) >= {
+            "unreachable", "nops", "dead", "abstraction",
+        }
+        assert [name for name, _ in DEFAULT_SQUEEZE_ORDER] == [
+            "unreachable", "nops", "dead", "abstraction",
+        ]
+
+
+class TestArtifactFingerprints:
+    def test_program_fingerprint_stable_and_content_addressed(
+        self, mini_program
+    ):
+        from repro.pipeline.artifacts import program_fingerprint
+
+        first = program_fingerprint(mini_program)
+        assert first == program_fingerprint(mini_program)
+        copy = mini_program.copy()
+        assert program_fingerprint(copy) == first
+
+    def test_config_fingerprint_tracks_values(self):
+        from repro.core.pipeline import SquashConfig
+        from repro.pipeline.artifacts import config_fingerprint
+
+        a = config_fingerprint(SquashConfig(theta=0.0))
+        b = config_fingerprint(SquashConfig(theta=0.5))
+        assert a != b
+        assert a == config_fingerprint(SquashConfig(theta=0.0))

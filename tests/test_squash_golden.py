@@ -1,0 +1,68 @@
+"""Byte-equivalence of the staged pipeline against pre-refactor golden
+digests.
+
+``tests/golden/squash_golden.json`` was captured from the monolithic
+rewriter before it was split into pass-manager stages: for every
+benchmark × θ cell it pins the SHA-256 of the emitted image (segments
+and memory words), the footprint, the baseline size, the modelled cycle
+count of the timing run, and the output digest.  The staged pipeline
+must reproduce all of them exactly — refactors of the stage modules
+are only mechanical if this suite stays green.
+
+Regenerate (only after an intentional output change)::
+
+    PYTHONPATH=src python tests/golden/capture_squash_golden.py
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import map_theta, squash_benchmark
+from repro.core.pipeline import SquashConfig
+from repro.workloads.mediabench import MEDIABENCH, mediabench_program
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "squash_golden.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+SCALE = GOLDEN["scale"]
+THETAS = tuple(GOLDEN["thetas"])
+
+
+def image_digest(image) -> str:
+    h = hashlib.sha256()
+    h.update(image.base.to_bytes(8, "little"))
+    h.update(image.entry_pc.to_bytes(8, "little"))
+    for seg in image.segments:
+        h.update(f"{seg.name}:{seg.start}:{seg.size};".encode())
+    for w in image.memory:
+        h.update((w & 0xFFFFFFFF).to_bytes(4, "little"))
+    return h.hexdigest()
+
+
+def output_digest(output) -> str:
+    return hashlib.sha256(
+        b"".join((w & 0xFFFFFFFF).to_bytes(4, "little") for w in output)
+    ).hexdigest()
+
+
+def test_golden_covers_full_grid():
+    assert len(GOLDEN["cells"]) == len(MEDIABENCH) * len(THETAS)
+
+
+@pytest.mark.parametrize("name", MEDIABENCH)
+def test_staged_pipeline_matches_golden(name):
+    bench = mediabench_program(name, scale=SCALE)
+    for theta_paper in THETAS:
+        config = SquashConfig(theta=map_theta(theta_paper))
+        result = squash_benchmark(name, SCALE, config)
+        want = GOLDEN["cells"][f"{name}@{theta_paper}"]
+        cell = f"{name}@{theta_paper}"
+        assert image_digest(result.image) == want["image_sha256"], cell
+        assert result.footprint.total == want["footprint_total"], cell
+        assert result.baseline_words == want["baseline_words"], cell
+        run, _ = result.run(bench.timing_input, max_steps=500_000_000)
+        assert run.cycles == want["cycles"], cell
+        assert output_digest(run.output) == want["output_sha256"], cell
+        assert run.exit_code == want["exit_code"], cell
