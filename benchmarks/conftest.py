@@ -14,15 +14,15 @@ are identical either way.
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest
 
+from repro import settings as _settings
 from repro.workloads.mediabench import MEDIABENCH
 
 #: Program scale used by all benchmarks.
-SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+SCALE = _settings.current().bench_scale
 
 #: All eleven benchmarks.
 ALL_NAMES = MEDIABENCH
@@ -53,8 +53,7 @@ def experiment_module():
     cached harness (``repro.analysis.parallel``) when
     ``REPRO_BENCH_PARALLEL`` is set to anything but ``0``.
     """
-    flag = os.environ.get("REPRO_BENCH_PARALLEL", "").lower()
-    if flag not in ("", "0", "no", "off"):
+    if _settings.current().bench_parallel:
         from repro.analysis import parallel
 
         return parallel

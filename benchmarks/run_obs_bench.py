@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Observability-overhead benchmark: tracing must be (nearly) free.
+
+Produces ``BENCH_obs.json`` with one section per benchmark:
+
+* wall time of the squashed timing run with the trace layer **off**
+  (the default) and **on** (``REPRO_TRACE=1``), best of several
+  repeats, each measured in a fresh interpreter so the global tracer
+  state of one mode cannot leak into the other;
+* the modelled cycle count and output digest of both runs — asserted
+  identical, because observability must never perturb the modelled
+  machine;
+* the relative wall-time overhead, checked against the budget
+  (3% by default; override with ``--budget``).
+
+Usage::
+
+    python benchmarks/run_obs_bench.py [--names adpcm gsm] [--scale 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+REPEATS = 5
+DEFAULT_NAMES = ("adpcm", "gsm", "jpeg_dec")
+DEFAULT_BUDGET = 0.03  # 3% wall-time overhead
+
+
+def _child(name: str, scale: float, theta: float) -> None:
+    """Subprocess entry: time the squashed timing run REPEATS times.
+
+    The squash itself (and one warm-up run) happen before the clock
+    starts — only the runtime decompressor path is being measured.
+    """
+    import hashlib
+
+    from repro.analysis.experiments import map_theta, squash_benchmark
+    from repro.core.pipeline import SquashConfig
+    from repro.workloads.mediabench import mediabench_program
+
+    bench = mediabench_program(name, scale=scale)
+    config = SquashConfig(theta=map_theta(theta))
+    result = squash_benchmark(name, scale, config)
+    result.run(bench.timing_input, max_steps=500_000_000)  # warm-up
+
+    best = float("inf")
+    cycles = None
+    digest = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run, _runtime = result.run(
+            bench.timing_input, max_steps=500_000_000
+        )
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        cycles = run.cycles
+        digest = hashlib.sha256(
+            b"".join(
+                (w & 0xFFFFFFFF).to_bytes(4, "little") for w in run.output
+            )
+        ).hexdigest()
+    print(json.dumps({"best": best, "cycles": cycles, "output": digest}))
+
+
+def _run_mode(name: str, scale: float, theta: float, traced: bool) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env["REPRO_TRACE"] = "1" if traced else "0"
+    proc = subprocess.run(
+        [
+            sys.executable, str(pathlib.Path(__file__).resolve()),
+            "--child", "--names", name,
+            "--scale", str(scale), "--theta", str(theta),
+        ],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def bench_one(name: str, scale: float, theta: float) -> dict:
+    plain = _run_mode(name, scale, theta, traced=False)
+    traced = _run_mode(name, scale, theta, traced=True)
+    if plain["cycles"] != traced["cycles"]:
+        raise AssertionError(
+            f"{name}: tracing changed modelled cycles "
+            f"({plain['cycles']} vs {traced['cycles']})"
+        )
+    if plain["output"] != traced["output"]:
+        raise AssertionError(f"{name}: tracing changed the program output")
+    overhead = traced["best"] / plain["best"] - 1.0
+    return {
+        "benchmark": name,
+        "cycles": plain["cycles"],
+        "plain_seconds": round(plain["best"], 4),
+        "traced_seconds": round(traced["best"], 4),
+        "overhead": round(overhead, 4),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--names", nargs="*", default=list(DEFAULT_NAMES))
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--theta", type=float, default=1e-4)
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET)
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_obs.json"))
+    parser.add_argument("--child", action="store_true")
+    args = parser.parse_args()
+
+    if args.child:
+        _child(args.names[0], args.scale, args.theta)
+        return
+
+    rows = [bench_one(name, args.scale, args.theta) for name in args.names]
+    worst = max(row["overhead"] for row in rows)
+    report = {
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "scale": args.scale,
+        "theta": args.theta,
+        "budget": args.budget,
+        "worst_overhead": round(worst, 4),
+        "runs": rows,
+    }
+    for row in rows:
+        print(
+            f"{row['benchmark']}: plain {row['plain_seconds']}s, traced "
+            f"{row['traced_seconds']}s ({row['overhead'] * 100:+.2f}%), "
+            f"cycles identical"
+        )
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    if worst > args.budget:
+        print(
+            f"FAIL: worst tracing overhead {worst * 100:.2f}% exceeds "
+            f"the {args.budget * 100:.0f}% budget"
+        )
+        sys.exit(1)
+    print(
+        f"OK: worst tracing overhead {worst * 100:.2f}% within the "
+        f"{args.budget * 100:.0f}% budget"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -41,7 +41,8 @@ SWEEP_THETAS = (0.0, 1e-5, 5e-5, 1e-4, 1e-3, 1.0)
 
 
 def bench_stages(name: str, scale: float) -> dict:
-    from repro.core.pipeline import SquashConfig, squash
+    from repro.core.pipeline import SquashConfig
+    from repro.core.pipeline import squash_program as squash
     from repro.workloads.mediabench import mediabench_program
 
     bench = mediabench_program(name, scale=scale)

@@ -24,17 +24,38 @@ synthetic Alpha-like RISC substrate built from scratch:
 * :mod:`repro.analysis` -- statistics and table/figure rendering for
   the paper's experiments.
 
-The most common entry points are re-exported lazily here::
+The stable public surface lives in :mod:`repro.api` (typed ``squash``
+/ ``run`` / ``sweep`` / ``verify`` plus their dataclass configs),
+settings in :mod:`repro.settings`, observability in :mod:`repro.obs`;
+the most common entry points are re-exported lazily here::
 
     from repro import squash, SquashConfig, mediabench_program, Machine
+    from repro import run, sweep, verify, RunSpec, SweepSpec
 """
 
 __version__ = "1.0.0"
 
 _EXPORTS = {
-    "squash": ("repro.core.pipeline", "squash"),
-    "SquashConfig": ("repro.core.pipeline", "SquashConfig"),
-    "SquashResult": ("repro.core.pipeline", "SquashResult"),
+    "squash": ("repro.api", "squash"),
+    "run": ("repro.api", "run"),
+    "sweep": ("repro.api", "sweep"),
+    "verify": ("repro.api", "verify"),
+    "squash_benchmark": ("repro.api", "squash_benchmark"),
+    "load_squashed": ("repro.api", "load_squashed"),
+    "RunSpec": ("repro.api", "RunSpec"),
+    "RunOutcome": ("repro.api", "RunOutcome"),
+    "SweepSpec": ("repro.api", "SweepSpec"),
+    "LoadedSquash": ("repro.api", "LoadedSquash"),
+    "SquashConfig": ("repro.api", "SquashConfig"),
+    "SquashResult": ("repro.api", "SquashResult"),
+    "Settings": ("repro.settings", "Settings"),
+    "use_settings": ("repro.settings", "use_settings"),
+    "current_settings": ("repro.settings", "current"),
+    "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
+    "get_registry": ("repro.obs.metrics", "get_registry"),
+    "Tracer": ("repro.obs.trace", "Tracer"),
+    "get_tracer": ("repro.obs.trace", "get_tracer"),
+    "enable_tracing": ("repro.obs.trace", "enable_tracing"),
     "BufferStrategy": ("repro.core.runtime", "BufferStrategy"),
     "squeeze": ("repro.squeeze.pipeline", "squeeze"),
     "PassManager": ("repro.pipeline.manager", "PassManager"),

@@ -26,7 +26,8 @@ from functools import lru_cache
 from repro.analysis.stats import geometric_mean
 from repro.core.descriptor import BufferStrategy, RestoreStubScheme
 from repro.core.coldcode import cold_code_stats
-from repro.core.pipeline import SquashConfig, SquashResult, squash
+from repro.core.pipeline import SquashConfig, SquashResult
+from repro.core.pipeline import squash_program as squash
 from repro.vm.machine import Machine, RunResult
 from repro.workloads.mediabench import MEDIABENCH, mediabench_program
 

@@ -54,8 +54,11 @@ from repro.analysis.experiments import (
     squash_benchmark,
     squashed_run,
 )
+from repro import settings as _settings
 from repro.analysis.stats import geometric_mean
 from repro.core.pipeline import SquashConfig
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.pipeline.artifacts import canonical
 from repro.resilience import (
     CacheStats,
@@ -68,6 +71,7 @@ from repro.resilience import (
 from repro.workloads.mediabench import MEDIABENCH
 
 __all__ = [
+    "LAST_SWEEP",
     "PIPELINE_SALT",
     "REQUIRED_KEYS",
     "cache_dir",
@@ -77,6 +81,7 @@ __all__ = [
     "fig6_rows",
     "fig7_size_rows",
     "fig7_time_rows",
+    "last_sweep_rollup",
 ]
 
 #: Cache-invalidation salt: bump on any change that can alter measured
@@ -86,24 +91,23 @@ PIPELINE_SALT = "pgcc-pipeline-v1"
 
 def cache_dir() -> pathlib.Path:
     """The on-disk cell cache root (``REPRO_CACHE_DIR`` overrides)."""
-    root = os.environ.get("REPRO_CACHE_DIR")
+    root = _settings.current().cache_dir
     if root:
         return pathlib.Path(root)
     return pathlib.Path.cwd() / ".repro-cache"
 
 
 def _workers() -> int:
-    env = os.environ.get("REPRO_BENCH_WORKERS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            warnings.warn(
-                f"REPRO_BENCH_WORKERS={env!r} is not an integer; "
-                f"falling back to the CPU count",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+    resolved = _settings.current()
+    if resolved.bench_workers is not None:
+        return resolved.bench_workers
+    if "REPRO_BENCH_WORKERS" in resolved.invalid:
+        warnings.warn(
+            "REPRO_BENCH_WORKERS is not an integer; "
+            "falling back to the CPU count",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return max(1, os.cpu_count() or 1)
 
 
@@ -152,7 +156,7 @@ def _compute_cell(
     program, profile, baseline layout and run) when available, so only
     the cold-set stage onward is recomputed per cell.
     """
-    from repro.core.pipeline import squash
+    from repro.core.pipeline import squash_program as squash
     from repro.program.layout import TEXT_BASE
 
     bundle = _stage_bundle(name, scale)
@@ -215,6 +219,54 @@ REQUIRED_KEYS = {
     "size": ("footprint_total", "baseline_words", "reduction"),
     "time": ("cycles", "base_cycles", "relative_time"),
 }
+
+#: Per-benchmark rollup of the most recent :func:`compute_cells` call;
+#: ``repro metrics`` prints it and the obs tests read it.
+LAST_SWEEP: dict | None = None
+
+
+def last_sweep_rollup() -> dict | None:
+    """The most recent sweep's rollup (``None`` before any sweep)."""
+    return LAST_SWEEP
+
+
+def _publish_rollup(
+    cells: list[tuple[str, str, float, SquashConfig]],
+    hits: set,
+    failed: set,
+) -> None:
+    """Record the sweep outcome in :data:`LAST_SWEEP` and mirror the
+    tallies into the unified metrics registry (aggregate counters plus
+    one counter set per benchmark — bounded cardinality)."""
+    global LAST_SWEEP
+    metrics = get_registry()
+    benches: dict[str, dict[str, int]] = {}
+    for cell in cells:
+        row = benches.setdefault(
+            cell[1], {"cells": 0, "cache_hits": 0, "computed": 0, "failed": 0}
+        )
+        row["cells"] += 1
+        if cell in hits:
+            row["cache_hits"] += 1
+        elif cell in failed:
+            row["failed"] += 1
+        else:
+            row["computed"] += 1
+    rollup = {
+        "cells": len(cells),
+        "cache_hits": len(hits),
+        "failed": len(failed),
+        "computed": len(cells) - len(hits) - len(failed),
+        "benchmarks": benches,
+    }
+    LAST_SWEEP = rollup
+    for key in ("cells", "cache_hits", "computed", "failed"):
+        if rollup[key]:
+            metrics.inc(f"sweep.cells.{key}", rollup[key])
+    for name, row in benches.items():
+        for key, value in row.items():
+            if value:
+                metrics.inc(f"sweep.bench.{name}.{key}", value)
 
 
 def cell_path(
@@ -294,14 +346,18 @@ def compute_cells(
     misses: list[tuple[str, str, float, SquashConfig]] = []
     root = cache_dir()
     paths: dict[tuple[str, str, float, SquashConfig], pathlib.Path] = {}
+    tracer = get_tracer()
+    unique = list(dict.fromkeys(cells))
+    hits: set = set()
 
-    for cell in dict.fromkeys(cells):
+    for cell in unique:
         path = cell_path(root, cell)
         paths[cell] = path
         if cache:
             entry = read_entry(path, REQUIRED_KEYS.get(cell[0], ()), stats)
             if entry is not None:
                 results[cell] = entry
+                hits.add(cell)
                 continue
         misses.append(cell)
 
@@ -329,11 +385,18 @@ def compute_cells(
             Task(key=cell, payload=cell, cls=cell[1], label=_cell_label(cell))
             for cell in misses
         ]
-        report = supervisor.run(tasks, parallel=parallel)
+        with tracer.span(
+            "sweep.compute_cells", "sweep",
+            misses=len(misses), cached=len(hits), parallel=parallel,
+        ):
+            report = supervisor.run(tasks, parallel=parallel)
         if report_sink is not None:
             report_sink.append(report)
+        _publish_rollup(unique, hits, set(report.failures))
         if report.failures and strict:
             raise next(iter(report.failures.values()))
+    else:
+        _publish_rollup(unique, hits, set())
     return results
 
 

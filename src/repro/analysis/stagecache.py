@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import pathlib
 from dataclasses import dataclass
 
+from repro import settings as _settings
+from repro.obs.metrics import get_registry
 from repro.program.program import Program
 from repro.program.serialize import program_from_dict, program_to_dict
 from repro.resilience import read_entry, write_entry
@@ -72,6 +73,14 @@ STAGE_COUNTERS = {"computed": 0, "loaded": 0, "memo": 0}
 
 _MEMO: dict[tuple[str, float], "StageBundle"] = {}
 
+_METRICS = get_registry()
+
+
+def _count(key: str) -> None:
+    """Bump a stage counter locally and in the unified registry."""
+    STAGE_COUNTERS[key] += 1
+    _METRICS.inc(f"stagecache.{key}")
+
 
 def reset_counters() -> None:
     for key in STAGE_COUNTERS:
@@ -81,12 +90,7 @@ def reset_counters() -> None:
 
 def stage_reuse_enabled() -> bool:
     """Stage-artifact reuse gate (``REPRO_STAGE_REUSE=0`` disables)."""
-    return os.environ.get("REPRO_STAGE_REUSE", "1").lower() not in (
-        "0",
-        "",
-        "no",
-        "off",
-    )
+    return _settings.current().stage_reuse
 
 
 @dataclass
@@ -152,7 +156,7 @@ def _compute_bundle(name: str, scale: float) -> StageBundle:
     from repro.core.metrics import baseline_code_words
     from repro.workloads.mediabench import mediabench_program
 
-    STAGE_COUNTERS["computed"] += 1
+    _count("computed")
     bench = mediabench_program(name, scale=scale)
     base = baseline_run(name, scale)
     return StageBundle(
@@ -174,7 +178,7 @@ def load_bundle(
     """The persisted bundle, or ``None`` on miss / corruption."""
     memo = _MEMO.get((name, scale))
     if memo is not None:
-        STAGE_COUNTERS["memo"] += 1
+        _count("memo")
         return memo
     entry = read_entry(bundle_path(root, name, scale), BUNDLE_KEYS)
     if entry is None:
@@ -184,7 +188,7 @@ def load_bundle(
     except (KeyError, TypeError, ValueError):
         # A stale or malformed bundle must never poison a sweep.
         return None
-    STAGE_COUNTERS["loaded"] += 1
+    _count("loaded")
     _MEMO[(name, scale)] = bundle
     return bundle
 

@@ -1,0 +1,198 @@
+"""The stable public API of the repro package.
+
+Everything a consumer of the reproduction needs goes through four
+typed entry points — :func:`squash`, :func:`run`, :func:`sweep`,
+:func:`verify` — plus the dataclass configs they take.  The facade is
+a thin, import-cheap layer: each call resolves its implementation
+lazily, so ``import repro.api`` never drags in the sweep harness or
+the process-pool machinery.
+
+::
+
+    import repro.api as api
+
+    result = api.squash_benchmark("gsm", scale=0.5,
+                                  config=api.SquashConfig(theta=1e-4))
+    outcome = api.run(result, api.RunSpec(input_words=(1, 2, 3)))
+    rows = api.sweep(api.SweepSpec(names=("adpcm", "gsm"), kind="size"))
+    report = api.verify("/tmp/gsm")
+
+Configuration precedence is uniform everywhere behind this facade:
+explicit config objects beat ``REPRO_*`` environment variables beat
+the declared defaults (:mod:`repro.settings`).  Observability hooks
+live in :mod:`repro.obs`; :func:`repro.settings.use_settings` scopes
+setting overrides, and ``repro trace`` / ``repro metrics`` surface the
+recorded streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SquashConfig
+from repro.core.pipeline import (
+    LoadedSquash,
+    SquashResult,
+    load_squashed,
+    squash_program,
+)
+
+__all__ = [
+    "LoadedSquash",
+    "RunOutcome",
+    "RunSpec",
+    "SquashConfig",
+    "SquashResult",
+    "SweepSpec",
+    "load_squashed",
+    "run",
+    "squash",
+    "squash_benchmark",
+    "sweep",
+    "verify",
+]
+
+
+# -- configs ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """How to execute a squashed image."""
+
+    #: Guest input words fed to the program.
+    input_words: tuple[int, ...] = ()
+    #: Step budget before the run is declared hung.
+    max_steps: int = 100_000_000
+    #: Override the cross-runtime region decode cache (None: the
+    #: resolved settings default).  Host-side only; modelled cycles are
+    #: identical either way.
+    region_cache: bool | None = None
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One θ-grid sweep over a benchmark subset.
+
+    *thetas* are paper-nominal thresholds (mapped internally through
+    :func:`repro.analysis.experiments.map_theta`); ``None`` selects the
+    figure's published grid for the chosen *kind*.  With *parallel*
+    the sweep fans out across the supervised process pool and the
+    persistent cell cache; rows are identical either way.
+    """
+
+    names: tuple[str, ...] = ()
+    scale: float = 1.0
+    thetas: tuple[float, ...] | None = None
+    #: ``"size"`` (Figure 6 rows) or ``"time"`` (Figure 7(b) rows).
+    kind: str = "size"
+    parallel: bool = False
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What one squashed execution produced."""
+
+    cycles: int
+    output: tuple[int, ...]
+    exit_code: int
+    #: Decompression-runtime counters for the run (region decompresses,
+    #: stub traffic, ...), as a plain dict.
+    runtime_stats: dict = field(default_factory=dict)
+
+
+# -- entry points -------------------------------------------------------------
+
+
+def squash(program, profile, config: SquashConfig | None = None,
+           *, baseline_words: int | None = None) -> SquashResult:
+    """Compress *program*'s cold code guided by *profile*.
+
+    The typed facade over :func:`repro.core.pipeline.squash_program`;
+    see there for the pipeline details.
+    """
+    return squash_program(
+        program, profile, config, baseline_words=baseline_words
+    )
+
+
+def squash_benchmark(name: str, scale: float = 1.0,
+                     config: SquashConfig | None = None) -> SquashResult:
+    """Squash one synthetic MediaBench benchmark end to end."""
+    from repro.analysis.experiments import squash_benchmark as _bench
+
+    return _bench(name, scale, config or SquashConfig())
+
+
+def run(target, spec: RunSpec | None = None) -> RunOutcome:
+    """Execute a squashed image and report the outcome.
+
+    *target* is a :class:`SquashResult`, a :class:`LoadedSquash`, or a
+    saved-image prefix accepted by :func:`load_squashed`.
+    """
+    spec = spec or RunSpec()
+    if isinstance(target, (str,)) or hasattr(target, "__fspath__"):
+        target = load_squashed(target)
+    if isinstance(target, SquashResult):
+        machine, runtime = target.make_machine(
+            spec.input_words, region_cache=spec.region_cache
+        )
+    elif isinstance(target, LoadedSquash):
+        machine, runtime = target.make_machine(spec.input_words)
+    else:
+        raise TypeError(
+            "run() target must be a SquashResult, LoadedSquash, or a "
+            f"saved-image prefix, not {type(target).__name__}"
+        )
+    result = machine.run(max_steps=spec.max_steps)
+    return RunOutcome(
+        cycles=result.cycles,
+        output=tuple(result.output),
+        exit_code=result.exit_code,
+        runtime_stats=vars(runtime.stats).copy(),
+    )
+
+
+def sweep(spec: SweepSpec | None = None):
+    """Row-compatible figure sweep over ``spec.names``.
+
+    Returns :class:`~repro.analysis.experiments.SizeRow` or
+    :class:`~repro.analysis.experiments.TimeRow` objects depending on
+    ``spec.kind``.
+    """
+    from repro.analysis import experiments
+    from repro.workloads.mediabench import MEDIABENCH
+
+    spec = spec or SweepSpec()
+    names = spec.names or MEDIABENCH
+    if spec.kind not in ("size", "time"):
+        raise ValueError(f"unknown sweep kind {spec.kind!r}")
+    default_thetas = (
+        experiments.FIG6_THETAS
+        if spec.kind == "size"
+        else experiments.FIG7_THETAS
+    )
+    thetas = spec.thetas if spec.thetas is not None else default_thetas
+    if spec.parallel:
+        from repro.analysis import parallel as driver
+
+        kwargs = {"parallel": True}
+    else:
+        driver = experiments
+        kwargs = {}
+    rows_fn = (
+        driver.fig6_rows if spec.kind == "size" else driver.fig7_time_rows
+    )
+    return rows_fn(names=tuple(names), scale=spec.scale,
+                   thetas=tuple(thetas), **kwargs)
+
+
+def verify(prefix, deep: bool = True):
+    """Verify a saved squashed executable.
+
+    Never raises on a bad image; faults come back in the returned
+    :class:`~repro.core.verify.VerifyReport`.
+    """
+    from repro.core.verify import verify_squashed
+
+    return verify_squashed(prefix, deep=deep)

@@ -10,9 +10,18 @@ Usage::
     python -m repro squash gsm --explain
     python -m repro stages --names adpcm gsm
     python -m repro verify /tmp/gsm
+    python -m repro trace /tmp/gsm --out /tmp/gsm.trace.json
+    python -m repro trace gsm --theta 0.01
+    python -m repro metrics gsm
     python -m repro faultsweep --names adpcm --faults 500 --seed 1
     python -m repro chaossweep --names adpcm --faults 60 --seed 1
     python -m repro all
+
+Every command goes through the stable facade (:mod:`repro.api`); the
+figure sweeps that the facade models (`fig6`, `fig7a`, `fig7b`) call
+:func:`repro.api.sweep`, `squash`/`stages`/`trace`/`metrics` call
+:func:`repro.api.squash_benchmark`, and `verify` calls
+:func:`repro.api.verify`.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import api
 from repro.analysis import ascii_table
 from repro.analysis.experiments import (
     FIG3_BOUNDS,
@@ -31,14 +41,11 @@ from repro.analysis.experiments import (
     compression_ratio_stats,
     fig3_rows,
     fig4_rows,
-    fig6_rows,
-    fig7_time_rows,
     restore_stub_stats,
-    squash_benchmark,
     squashed_run,
 )
 from repro.analysis.stats import percent
-from repro.core.pipeline import SquashConfig
+from repro.api import SquashConfig, SweepSpec, squash_benchmark
 from repro.workloads.mediabench import MEDIABENCH
 
 
@@ -93,7 +100,9 @@ def _cmd_fig4(args) -> None:
 
 
 def _cmd_fig6(args) -> None:
-    rows = fig6_rows(names=args.names, scale=args.scale)
+    rows = api.sweep(
+        SweepSpec(names=args.names, scale=args.scale, kind="size")
+    )
     print(
         ascii_table(
             ["program", "theta (paper)", "theta (ours)", "reduction"],
@@ -107,7 +116,12 @@ def _cmd_fig6(args) -> None:
 
 
 def _cmd_fig7a(args) -> None:
-    rows = fig6_rows(names=args.names, scale=args.scale, thetas=FIG7_THETAS)
+    rows = api.sweep(
+        SweepSpec(
+            names=args.names, scale=args.scale,
+            thetas=FIG7_THETAS, kind="size",
+        )
+    )
     print(
         ascii_table(
             ["program", "theta (paper)", "reduction"],
@@ -118,7 +132,9 @@ def _cmd_fig7a(args) -> None:
 
 
 def _cmd_fig7b(args) -> None:
-    rows = fig7_time_rows(names=args.names, scale=args.scale)
+    rows = api.sweep(
+        SweepSpec(names=args.names, scale=args.scale, kind="time")
+    )
     print(
         ascii_table(
             ["program", "theta (paper)", "relative time"],
@@ -215,14 +231,106 @@ def _cmd_stages(args) -> None:
 
 
 def _cmd_verify(args) -> int:
-    from repro.core.verify import verify_squashed
-
     if not args.prefix:
         print("verify: missing image prefix (repro verify <prefix>)")
         return 2
-    report = verify_squashed(args.prefix)
+    report = api.verify(args.prefix)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _traced_outcome(args):
+    """Run the trace target — a saved-image prefix or a benchmark
+    name — and return the :class:`repro.api.RunOutcome`."""
+    from repro.workloads.mediabench import mediabench_program
+
+    target = args.prefix
+    if target in MEDIABENCH:
+        config = SquashConfig(theta=args.theta).with_buffer_bound(
+            args.bound
+        )
+        result = squash_benchmark(target, args.scale, config)
+        bench = mediabench_program(target, scale=args.scale)
+        return api.run(
+            result,
+            api.RunSpec(
+                input_words=tuple(bench.timing_input),
+                max_steps=500_000_000,
+            ),
+        )
+    return api.run(target)
+
+
+def _cmd_trace(args) -> int:
+    """Execute a squashed image with tracing armed and export the
+    deterministic runtime event stream."""
+    import json
+
+    from repro.obs.trace import (
+        chrome_trace,
+        enable_tracing,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    if not args.prefix:
+        print("trace: missing target (repro trace <prefix-or-benchmark>)")
+        return 2
+    tracer = enable_tracing()
+    tracer.clear()
+    outcome = _traced_outcome(args)
+    # Runtime events are stamped with modelled cycles and replay
+    # byte-identically; host-side spans (wall-clock) only appear with
+    # --full, keeping the default export deterministic.
+    events = tracer.events() if args.full else tracer.events("runtime")
+    if args.jsonl:
+        write_jsonl(args.jsonl, events)
+        print(f"trace: {len(events)} events -> {args.jsonl}")
+    if args.out:
+        write_chrome_trace(args.out, events)
+        print(f"trace: {len(events)} events -> {args.out}")
+    elif not args.jsonl:
+        print(json.dumps(chrome_trace(events)))
+    if tracer.dropped:
+        print(f"trace: ring buffer dropped {tracer.dropped} events "
+              f"(raise REPRO_TRACE_BUFFER)", file=sys.stderr)
+    print(
+        f"trace: {len(events)} events, {outcome.cycles} cycles, "
+        f"exit {outcome.exit_code}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Render the unified metrics registry (optionally populating it
+    by squashing and running one benchmark first)."""
+    import json
+
+    from repro.obs.metrics import get_registry
+
+    if args.prefix:
+        if args.prefix not in MEDIABENCH:
+            print(f"metrics: unknown benchmark {args.prefix!r}")
+            return 2
+        _traced_outcome(args)
+    registry = get_registry()
+    if args.json:
+        print(json.dumps(registry.snapshot(), sort_keys=True))
+    else:
+        print(registry.render())
+        from repro.analysis.parallel import last_sweep_rollup
+
+        rollup = last_sweep_rollup()
+        if rollup:
+            print()
+            print(
+                f"last sweep: {rollup['cells']} cells "
+                f"({rollup['cache_hits']} cached, "
+                f"{rollup['computed']} computed, "
+                f"{rollup['failed']} failed)"
+            )
+    return 0
 
 
 def _cmd_faultsweep(args) -> int:
@@ -273,6 +381,8 @@ _COMMANDS = {
     "squash": _cmd_squash,
     "stages": _cmd_stages,
     "verify": _cmd_verify,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "faultsweep": _cmd_faultsweep,
     "chaossweep": _cmd_chaossweep,
 }
@@ -291,7 +401,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "prefix", nargs="?", default=None,
-        help="saved-image prefix (verify command)",
+        help="saved-image prefix or benchmark name "
+        "(verify/trace/metrics commands)",
     )
     parser.add_argument(
         "--names", nargs="*", default=list(MEDIABENCH),
@@ -340,6 +451,25 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=None,
         help="worker pool size (chaossweep command; default: CPU count)",
     )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the Chrome trace-event JSON to PATH "
+        "(trace command; default: stdout)",
+    )
+    parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the trace as JSON Lines to PATH (trace command)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the metrics snapshot as JSON (metrics command)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="include wall-clock host spans in the trace export "
+        "(trace command; the default exports only the deterministic "
+        "runtime events)",
+    )
     args = parser.parse_args(argv)
     args.names = tuple(args.names)
 
@@ -349,7 +479,8 @@ def main(argv: list[str] | None = None) -> int:
             for name, command in _COMMANDS.items():
                 # Sub-commands needing extra arguments don't batch.
                 if name in (
-                    "squash", "stages", "verify", "faultsweep", "chaossweep"
+                    "squash", "stages", "verify", "trace", "metrics",
+                    "faultsweep", "chaossweep",
                 ):
                     continue
                 command(args)

@@ -18,7 +18,6 @@ remain independently decodable.
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -49,14 +48,13 @@ _COUNT_BITS = 16
 _CODER_IDS = {"huffman": 0, "dict": 1}
 _CODER_CLASSES = {0: CanonicalCode, 1: DictionaryCode}
 
-#: Default for the table-driven decode path; ``REPRO_FAST_DECODE=0``
-#: falls back to the paper-verbatim bit-at-a-time DECODE everywhere.
-FAST_DECODE_DEFAULT = os.environ.get("REPRO_FAST_DECODE", "1").lower() not in (
-    "0",
-    "",
-    "no",
-    "off",
-)
+def fast_decode_default() -> bool:
+    """Default for the table-driven decode path; ``REPRO_FAST_DECODE=0``
+    (or ``fast_decode=False`` in :mod:`repro.settings`) falls back to
+    the paper-verbatim bit-at-a-time DECODE everywhere."""
+    from repro import settings
+
+    return settings.current().fast_decode
 
 
 @dataclass(frozen=True)
@@ -343,7 +341,7 @@ class ProgramCodec:
     ) -> dict[FieldKind, Callable[[BitReader], int]]:
         """Per-stream symbol-decode callables.
 
-        With *fast* (default: :data:`FAST_DECODE_DEFAULT`), canonical
+        With *fast* (default: :func:`fast_decode_default`), canonical
         Huffman streams use the table-driven
         :meth:`~repro.compress.canonical.CanonicalCode.fast_decode`;
         otherwise every stream uses its paper-verbatim ``decode``.  Both
@@ -351,7 +349,7 @@ class ProgramCodec:
         changes outputs or modelled costs.
         """
         if fast is None:
-            fast = FAST_DECODE_DEFAULT
+            fast = fast_decode_default()
         table: dict[FieldKind, Callable[[BitReader], int]] = {}
         for kind, code in self.codes.items():
             if fast and isinstance(code, CanonicalCode):
@@ -369,14 +367,14 @@ class ProgramCodec:
         excluded) and the number of bits consumed -- the runtime charges
         decompression cost proportional to it.
 
-        With *fast* (default: :data:`FAST_DECODE_DEFAULT`) and the
+        With *fast* (default: :func:`fast_decode_default`) and the
         canonical Huffman coder, decoding runs through a specialised
         loop that keeps the bit window in locals and resolves codewords
         by first-level table lookup; it decodes the same items from the
         same bits as the generic loop below.
         """
         if fast is None:
-            fast = FAST_DECODE_DEFAULT
+            fast = fast_decode_default()
         if fast and self.coder == "huffman":
             return self._decode_region_fast(words, bit_offset)
         reader = BitReader(words, bit_offset)

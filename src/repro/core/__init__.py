@@ -27,7 +27,8 @@ from repro.core.coldcode import identify_cold_blocks, cold_code_stats
 from repro.core.regions import Region, form_regions, pack_regions
 from repro.core.buffersafe import buffer_safe_functions
 from repro.core.unswitch import unswitch_cold_tables
-from repro.core.pipeline import squash, SquashConfig, SquashResult
+from repro.core.pipeline import SquashConfig, SquashResult
+from repro.core.pipeline import squash_program as squash
 from repro.core.runtime import BufferStrategy, SquashRuntime, RuntimeStats
 from repro.core.metrics import Footprint
 

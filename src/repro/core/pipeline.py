@@ -1,6 +1,6 @@
-"""End-to-end squash: the public entry point.
+"""End-to-end squash: the pipeline entry point.
 
-Typical use::
+Typical use (through the stable facade — see :mod:`repro.api`)::
 
     from repro import squash, SquashConfig, squeeze, collect_profile
     from repro.program.layout import layout
@@ -12,10 +12,12 @@ Typical use::
     machine, runtime = result.make_machine(timing_input)
     run = machine.run()
 
-``squash`` runs the staged pipeline (cold → plan → classify → layout
-→ encode → emit; see :mod:`repro.pipeline`) and keeps the per-stage
-wall-time/counter report on the result — ``repro squash --explain``
-prints it.
+:func:`squash_program` runs the staged pipeline (cold → plan →
+classify → layout → encode → emit; see :mod:`repro.pipeline`) and
+keeps the per-stage wall-time/counter report on the result — ``repro
+squash --explain`` prints it.  Importing it under the historical name
+``squash`` from this module still works but raises a
+:class:`DeprecationWarning`; new code goes through :func:`repro.api.squash`.
 """
 
 from __future__ import annotations
@@ -44,7 +46,30 @@ __all__ = [
     "LoadedSquash",
     "load_squashed",
     "squash",
+    "squash_program",
 ]
+
+#: Historical module attributes served (with a warning) by
+#: ``__getattr__`` — the name must *not* exist at module level for the
+#: hook to fire.
+_DEPRECATED = {"squash": "squash_program"}
+
+
+def __getattr__(name: str):
+    target = _DEPRECATED.get(name)
+    if target is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import warnings
+
+    warnings.warn(
+        f"importing {name!r} from repro.core.pipeline is deprecated; "
+        f"use repro.api.{name} (or repro.core.pipeline.{target})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return globals()[target]
 
 
 def _sibling_with_suffix(prefix, suffix: str):
@@ -180,7 +205,7 @@ def load_squashed(prefix, verify: bool = True) -> LoadedSquash:
     return LoadedSquash(image=image, descriptor=descriptor)
 
 
-def squash(
+def squash_program(
     program: Program,
     profile: Profile,
     config: SquashConfig | None = None,

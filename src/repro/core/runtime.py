@@ -24,7 +24,6 @@ number of instructions materialised, plus fixed invocation overhead.
 from __future__ import annotations
 
 import hashlib
-import os
 from array import array
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -57,8 +56,11 @@ from repro.errors import (
     StubAreaOverflow,
     TruncatedStreamError,
 )
+from repro import settings as _settings
 from repro.isa.encoding import encode
 from repro.isa.fields import FieldKind, from_bits
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import NUM_REGS, Op, REG_ZERO
 from repro.program.layout import branch_displacement
@@ -71,15 +73,20 @@ __all__ = [
     "RuntimeStats",
     "StubAreaOverflow",
     "clear_region_decode_cache",
+    "region_cache_default",
     "region_decode_cache_info",
 ]
 
+#: Unified metrics sink: the decode-cache counters mirror here so
+#: ``repro metrics`` reports them alongside every other component.
+_METRICS = get_registry()
 
-#: Default for the cross-runtime region decode cache;
-#: ``REPRO_REGION_CACHE=0`` disables it.
-REGION_CACHE_DEFAULT = os.environ.get(
-    "REPRO_REGION_CACHE", "1"
-).lower() not in ("0", "", "no", "off")
+
+def region_cache_default() -> bool:
+    """Default for the cross-runtime region decode cache;
+    ``REPRO_REGION_CACHE=0`` (or ``region_cache=False`` via
+    :mod:`repro.settings`) disables it."""
+    return _settings.current().region_cache
 
 #: Entries kept in the region decode cache before the oldest is evicted.
 REGION_CACHE_MAX_ENTRIES = 4096
@@ -187,8 +194,11 @@ class SquashRuntime:
         self._free_slots = list(range(descriptor.stub_capacity))
         self._expanded_cache: dict[int, tuple[list[int], int]] = {}
         self._region_cache_enabled = (
-            REGION_CACHE_DEFAULT if region_cache is None else bool(region_cache)
+            region_cache_default()
+            if region_cache is None
+            else bool(region_cache)
         )
+        self._tracer = get_tracer()
         self._blob_digest: bytes | None = None
         self._image_verified = False
 
@@ -259,11 +269,21 @@ class SquashRuntime:
             self.stats.max_live_stubs = max(
                 self.stats.max_live_stubs, len(self._live_stubs)
             )
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "stub.create", "runtime", ts=machine.cycles,
+                    region=self.current_region, offset=offset, slot=slot,
+                )
         else:
             stub_addr = self._stub_addr(slot)
             count = machine.read_word(stub_addr + 2)
             machine.write_word(stub_addr + 2, count + 1)
             self.stats.stub_reuses += 1
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "stub.reuse", "runtime", ts=machine.cycles,
+                    region=self.current_region, offset=offset, slot=slot,
+                )
         machine.regs[reg] = self._stub_addr(slot)
         machine.pc = retaddr  # resume at the br/jsr that reaches the callee
         self._charge(machine, desc.cost.createstub_cycles)
@@ -290,6 +310,11 @@ class SquashRuntime:
         if freed:
             self.stats.stub_reclaims += freed
             self.stats.stubs_freed += freed
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "stub.reclaim", "runtime", ts=machine.cycles,
+                    freed=freed,
+                )
         return freed
 
     # -- Decompress ---------------------------------------------------------
@@ -300,6 +325,11 @@ class SquashRuntime:
 
         if desc.in_stub_area(retaddr):
             self.stats.restore_invocations += 1
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "stub.restore_fire", "runtime", ts=machine.cycles,
+                    retaddr=retaddr, tag_region=tag >> 16,
+                )
             if desc.restore_scheme is RestoreStubScheme.RUNTIME:
                 self._release_stub(machine, retaddr)
 
@@ -328,6 +358,11 @@ class SquashRuntime:
         if hit:
             self.stats.buffer_hits += 1
             self._charge(machine, desc.cost.buffer_hit_cycles)
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "buffer.hit", "runtime", ts=machine.cycles,
+                    region=region_index,
+                )
         else:
             self._fill(machine, region_index)
         # Entry jump at slot 0, then transfer to the buffer start --
@@ -352,6 +387,10 @@ class SquashRuntime:
             del self._live_stubs[key]
             self._free_slots.append(slot)
             self.stats.stubs_freed += 1
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "stub.free", "runtime", ts=machine.cycles, slot=slot,
+                )
 
     def _fill(self, machine: Machine, region_index: int) -> None:
         """Decode a region into its area and charge the measured cost.
@@ -365,6 +404,23 @@ class SquashRuntime:
         """
         desc = self.desc
         self._verify_image(machine)
+        trace = self._tracer.enabled
+        if trace:
+            if (
+                desc.strategy is not BufferStrategy.DECOMPRESS_ONCE
+                and self.current_region is not None
+                and self.current_region != region_index
+            ):
+                # The single runtime buffer holds one region at a
+                # time: filling it with a new region evicts the old.
+                self._tracer.emit(
+                    "buffer.evict", "runtime", ts=machine.cycles,
+                    region=self.current_region, replaced_by=region_index,
+                )
+            self._tracer.emit(
+                "region.decompress", "runtime", phase="B",
+                ts=machine.cycles, region=region_index,
+            )
         region = desc.region(region_index)
         if (
             region.base < desc.buffer_base
@@ -423,6 +479,12 @@ class SquashRuntime:
         self.stats.decompressions += 1
         self.stats.bits_decoded += bits
         self.stats.instrs_materialised += len(words)
+        if trace:
+            self._tracer.emit(
+                "region.decompress", "runtime", phase="E",
+                ts=machine.cycles, region=region_index,
+                bits=bits, words=len(words), cycles=cycles,
+            )
 
         if desc.strategy is BufferStrategy.DECOMPRESS_ONCE:
             self._materialised.add(region_index)
@@ -455,6 +517,12 @@ class SquashRuntime:
             if _entry_seal(items, bits) == seal:
                 _REGION_DECODE_CACHE.move_to_end(key)
                 _REGION_CACHE_HITS += 1
+                _METRICS.inc("runtime.decode_cache.hits")
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "decode_cache.hit", "runtime",
+                        ts=machine.cycles, bit_offset=bit_offset,
+                    )
                 return items, bits
             # A poisoned entry (mutated in place by another runtime or
             # a fault) is rejected rather than executed: drop it and
@@ -462,6 +530,12 @@ class SquashRuntime:
             del _REGION_DECODE_CACHE[key]
             self.stats.cache_rejects += 1
         _REGION_CACHE_MISSES += 1
+        _METRICS.inc("runtime.decode_cache.misses")
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "decode_cache.miss", "runtime",
+                ts=machine.cycles, bit_offset=bit_offset,
+            )
         stream = _MemWords(machine, desc.stream_addr, desc.stream_words)
         items, bits = codec.decode_region(stream, bit_offset)
         items = tuple(items)

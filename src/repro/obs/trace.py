@@ -1,0 +1,220 @@
+"""Structured tracing: spans, runtime events, ring buffer, exporters.
+
+Two kinds of records flow through one :class:`Tracer`:
+
+* **Spans** (phase ``B``/``E``) around host-side work: pipeline
+  stages, sweep cells, supervised worker lifecycles.  They are stamped
+  with wall-clock microseconds — useful for profiling, not expected to
+  be reproducible.
+* **Runtime events** (category ``"runtime"``) from the VM and the
+  decompression runtime: region decompress start/end, decode-cache
+  hit/miss, buffer eviction, restore-stub fire, stub-area reclaim.
+  They are stamped with *modelled guest cycles* and a per-category
+  sequence number, never wall time, so the same program and seed
+  replay to a byte-identical event stream — ``repro trace`` pins this.
+
+Events land in an in-memory ring buffer (``collections.deque`` with a
+bounded capacity; the oldest events drop first and the drop count is
+kept).  Exporters: :func:`chrome_trace` produces the Chrome
+trace-event JSON object (load it in ``chrome://tracing`` / Perfetto),
+:func:`write_jsonl` streams one JSON object per line.
+
+The default tracer is **disabled**: every instrumentation site guards
+on :attr:`Tracer.enabled`, a plain attribute read, so the hot paths
+pay nothing measurable when tracing is off.  ``REPRO_TRACE=1`` (see
+:mod:`repro.settings`) arms it at first use; :func:`enable_tracing`
+arms it programmatically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro import settings as _settings
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "enable_tracing",
+    "get_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record of the stream.
+
+    ``ts`` is modelled guest cycles for ``cat="runtime"`` events and
+    wall-clock microseconds otherwise.  ``seq`` increases per
+    category, so ordering within a category is total and — for the
+    runtime category — deterministic.  ``args`` is a tuple of sorted
+    ``(key, value)`` pairs, keeping the dataclass hashable and
+    equality exact for replay comparison.
+    """
+
+    name: str
+    cat: str
+    phase: str  # "B" begin | "E" end | "i" instant
+    ts: float
+    seq: int
+    lane: str = ""
+    args: tuple = ()
+
+    def to_json(self) -> dict:
+        """Chrome trace-event form of this record."""
+        event = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.phase,
+            "ts": self.ts,
+            "pid": 1,
+            "tid": self.lane or self.cat,
+            "args": dict(self.args),
+        }
+        if self.phase == "i":
+            event["s"] = "t"  # instant scope: thread
+        return event
+
+
+class Tracer:
+    """A bounded in-memory event stream."""
+
+    def __init__(self, capacity: int = 65536, enabled: bool = False):
+        self.enabled = enabled
+        self._buffer: deque[TraceEvent] = deque(maxlen=max(1, capacity))
+        self._seq: dict[str, int] = {}
+        self.dropped = 0
+
+    # -- control -------------------------------------------------------------
+
+    def enable(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity != self._buffer.maxlen:
+            self._buffer = deque(self._buffer, maxlen=max(1, capacity))
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._seq.clear()
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._buffer.maxlen or 0
+
+    # -- recording -----------------------------------------------------------
+
+    def emit(
+        self,
+        name: str,
+        cat: str,
+        phase: str = "i",
+        ts: float | None = None,
+        lane: str = "",
+        **args,
+    ) -> None:
+        """Record one event.  *ts* ``None`` stamps wall microseconds;
+        runtime instrumentation always passes modelled cycles."""
+        if not self.enabled:
+            return
+        if ts is None:
+            ts = time.perf_counter() * 1e6
+        seq = self._seq.get(cat, 0)
+        self._seq[cat] = seq + 1
+        if len(self._buffer) == self._buffer.maxlen:
+            self.dropped += 1
+        self._buffer.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                phase=phase,
+                ts=ts,
+                seq=seq,
+                lane=lane,
+                args=tuple(sorted(args.items())),
+            )
+        )
+
+    @contextmanager
+    def span(self, name: str, cat: str, lane: str = "", **args) -> Iterator[None]:
+        """A ``B``/``E`` pair around host-side work (wall-clock ts)."""
+        if not self.enabled:
+            yield
+            return
+        self.emit(name, cat, phase="B", lane=lane, **args)
+        try:
+            yield
+        finally:
+            self.emit(name, cat, phase="E", lane=lane)
+
+    # -- reading -------------------------------------------------------------
+
+    def events(self, cat: str | None = None) -> list[TraceEvent]:
+        """Buffered events, oldest first, optionally one category."""
+        if cat is None:
+            return list(self._buffer)
+        return [event for event in self._buffer if event.cat == cat]
+
+
+#: The process-wide tracer all instrumentation sites consult.
+_TRACER: Tracer | None = None
+
+
+def get_tracer() -> Tracer:
+    """The default tracer; built (and armed iff ``REPRO_TRACE`` is
+    set) on first call."""
+    global _TRACER
+    if _TRACER is None:
+        resolved = _settings.current()
+        _TRACER = Tracer(
+            capacity=resolved.trace_buffer, enabled=resolved.trace
+        )
+    return _TRACER
+
+
+def enable_tracing(capacity: int | None = None) -> Tracer:
+    """Arm the default tracer and return it."""
+    tracer = get_tracer()
+    tracer.enable(capacity)
+    return tracer
+
+
+# -- exporters ----------------------------------------------------------------
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """The Chrome trace-event JSON object for *events*.
+
+    Runtime timestamps are modelled cycles; the ``displayTimeUnit``
+    hint keeps viewers from re-scaling them confusingly.
+    """
+    return {
+        "traceEvents": [event.to_json() for event in events],
+        "displayTimeUnit": "ns",
+        "metadata": {"producer": "repro.obs", "ts_unit_runtime": "cycles"},
+    }
+
+
+def write_chrome_trace(path, events: Iterable[TraceEvent]) -> None:
+    """Write *events* as a Chrome trace-event JSON file at *path*."""
+    import pathlib
+
+    pathlib.Path(path).write_text(json.dumps(chrome_trace(events)))
+
+
+def write_jsonl(path, events: Iterable[TraceEvent]) -> None:
+    """Write *events* as JSON Lines (one event object per line)."""
+    import pathlib
+
+    lines = [json.dumps(event.to_json()) for event in events]
+    pathlib.Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))

@@ -20,6 +20,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
 __all__ = [
     "ArtifactStore",
     "PassManager",
@@ -226,6 +229,8 @@ class PassManager:
             else ArtifactStore(store or {})
         )
         report = report if report is not None else StageReport()
+        tracer = get_tracer()
+        metrics = get_registry()
         for stage in self.order(preloaded=set(artifacts)):
             if stage.provides in artifacts:
                 report.stages.append(
@@ -235,11 +240,15 @@ class PassManager:
                         reused=True,
                     )
                 )
+                metrics.inc(f"pipeline.stage.{stage.name}.reused")
                 continue
             ctx = StageContext(stage=stage.name)
             inputs = {req: artifacts[req] for req in stage.requires}
             start = time.perf_counter()
-            artifacts[stage.provides] = stage.fn(ctx, **inputs)
+            with tracer.span(
+                f"stage.{stage.name}", "pipeline", provides=stage.provides
+            ):
+                artifacts[stage.provides] = stage.fn(ctx, **inputs)
             elapsed = time.perf_counter() - start
             report.stages.append(
                 StageTiming(
@@ -249,4 +258,8 @@ class PassManager:
                     counters=ctx.counters,
                 )
             )
+            metrics.inc(f"pipeline.stage.{stage.name}.executed")
+            metrics.observe(f"pipeline.stage.{stage.name}.seconds", elapsed)
+            for key, value in ctx.counters.items():
+                metrics.inc(f"pipeline.stage.{stage.name}.{key}", value)
         return artifacts, report

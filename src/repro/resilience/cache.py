@@ -33,8 +33,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.core.integrity import bytes_crc
+from repro.obs.metrics import get_registry
 
 __all__ = ["CacheStats", "read_entry", "write_entry", "seal_text"]
+
+#: Unified metrics sink: entry reads/writes/rejections mirror here
+#: (names ``cellcache.*``) alongside the per-pass ``CacheStats``.
+_METRICS = get_registry()
 
 _SEAL_PREFIX = "crc32:"
 
@@ -58,6 +63,8 @@ class CacheStats:
     def _reject(self, reason: str) -> None:
         self.rejects[reason] = self.rejects.get(reason, 0) + 1
         self.misses += 1
+        _METRICS.inc(f"cellcache.rejects.{reason}")
+        _METRICS.inc("cellcache.misses")
 
 
 def seal_text(payload: str) -> str:
@@ -80,6 +87,7 @@ def write_entry(path: pathlib.Path, obj: Mapping) -> None:
         os.close(fd)
     os.replace(tmp, path)
     _fsync_dir(path.parent)
+    _METRICS.inc("cellcache.writes")
 
 
 def _fsync_dir(directory: pathlib.Path) -> None:
@@ -111,6 +119,7 @@ def read_entry(
         raw = path.read_text("utf-8", errors="replace")
     except FileNotFoundError:
         stats.misses += 1
+        _METRICS.inc("cellcache.misses")
         return None
     except OSError:
         stats._reject("unreadable")
@@ -147,4 +156,5 @@ def read_entry(
         stats._reject("missing-keys")
         return None
     stats.hits += 1
+    _METRICS.inc("cellcache.hits")
     return obj

@@ -43,7 +43,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
+from repro import settings as _settings
 from repro.errors import BreakerOpen, CellFailure, SquashError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.resilience.policy import CircuitBreaker, RetryPolicy
 
 __all__ = [
@@ -81,30 +84,29 @@ class SupervisorConfig:
     breaker_threshold: int = 8
 
     @classmethod
-    def from_env(cls) -> "SupervisorConfig":
-        """Defaults overridable per process: ``REPRO_CELL_DEADLINE``
-        (seconds, 0 disables), ``REPRO_CELL_RETRIES``,
-        ``REPRO_CELL_BACKOFF`` (seconds), ``REPRO_BREAKER_THRESHOLD``
-        (0 disables).  Malformed values fall back silently — resilience
-        knobs must never be a new way to crash."""
-        def _get(name: str, cast, default):
-            raw = os.environ.get(name, "")
-            if not raw:
-                return default
-            try:
-                return cast(raw)
-            except ValueError:
-                return default
-
-        deadline = _get("REPRO_CELL_DEADLINE", float, 0.0)
+    def from_settings(
+        cls, resolved: "_settings.Settings | None" = None
+    ) -> "SupervisorConfig":
+        """The config the resolved :class:`repro.settings.Settings`
+        describes (``REPRO_CELL_DEADLINE``, ``REPRO_CELL_RETRIES``,
+        ``REPRO_CELL_BACKOFF``, ``REPRO_BREAKER_THRESHOLD`` feed it;
+        malformed values fall back silently — resilience knobs must
+        never be a new way to crash)."""
+        if resolved is None:
+            resolved = _settings.current()
         return cls(
-            deadline=deadline if deadline > 0 else None,
+            deadline=resolved.cell_deadline,
             retry=RetryPolicy(
-                max_attempts=max(1, _get("REPRO_CELL_RETRIES", int, 3)),
-                backoff_base=max(0.0, _get("REPRO_CELL_BACKOFF", float, 0.1)),
+                max_attempts=resolved.cell_retries,
+                backoff_base=resolved.cell_backoff,
             ),
-            breaker_threshold=_get("REPRO_BREAKER_THRESHOLD", int, 8),
+            breaker_threshold=resolved.breaker_threshold,
         )
+
+    @classmethod
+    def from_env(cls) -> "SupervisorConfig":
+        """Alias of :meth:`from_settings` kept for existing callers."""
+        return cls.from_settings()
 
 
 @dataclass
@@ -140,6 +142,10 @@ class SupervisionReport:
     def events_for(self, key: Hashable) -> list[FailureEvent]:
         return [event for event in self.events if event.key == key]
 
+
+#: Unified metrics sink: supervision outcomes mirror here so a sweep
+#: leaves one queryable snapshot (``repro metrics``).
+_METRICS = get_registry()
 
 #: True inside a supervisor pool worker (set by the pool initializer).
 #: Chaos faults that destroy the hosting process consult this so they
@@ -183,6 +189,7 @@ class Supervisor:
         self.fn = fn
         self.config = config or SupervisorConfig.from_env()
         self.on_result = on_result
+        self._tracer = get_tracer()
 
     # -- public entry --------------------------------------------------------
 
@@ -215,6 +222,12 @@ class Supervisor:
     ) -> None:
         report.results[state.task.key] = result
         breaker.record_success(state.task.cls)
+        _METRICS.inc("supervisor.successes")
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "cell.ok", "sweep", cell=state.task.describe(),
+                attempts=state.attempts + 1,
+            )
         if self.on_result is not None:
             self.on_result(state.task, result)
 
@@ -241,6 +254,12 @@ class Supervisor:
             or state.crashes >= retry.crash_cap
         )
         retried = counts_attempt and not exhausted
+        _METRICS.inc(f"supervisor.failures.{kind}")
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "cell.fail", "sweep", cell=task.describe(), kind=kind,
+                attempt=state.attempts, retried=retried or not counts_attempt,
+            )
         report.events.append(
             FailureEvent(
                 key=task.key,
@@ -262,6 +281,7 @@ class Supervisor:
             )
             failure.__cause__ = exc
             report.failures[task.key] = failure
+            _METRICS.inc("supervisor.cells_lost")
             return False
         if counts_attempt:
             state.ready_at = time.monotonic() + retry.delay(
@@ -292,6 +312,7 @@ class Supervisor:
         )
         failure.__cause__ = BreakerOpen(cls=task.cls)
         report.failures[task.key] = failure
+        _METRICS.inc("supervisor.breaker_open")
 
     # -- serial fallback -----------------------------------------------------
 
@@ -316,6 +337,7 @@ class Supervisor:
             if delay > 0:
                 time.sleep(delay)
             report.executions += 1
+            _METRICS.inc("supervisor.executions")
             try:
                 result = self.fn(state.task.payload)
             except BaseException as exc:  # noqa: BLE001 - classified below
@@ -356,6 +378,7 @@ class Supervisor:
                         continue
                     future = pool.submit(self.fn, state.task.payload)
                     report.executions += 1
+                    _METRICS.inc("supervisor.executions")
                     expiry = now + deadline if deadline else float("inf")
                     inflight[future] = (state, expiry)
                 queue.extend(requeue)
@@ -465,6 +488,9 @@ class Supervisor:
     ) -> ProcessPoolExecutor:
         self._stop_pool(pool, kill=kill)
         report.pool_rebuilds += 1
+        _METRICS.inc("supervisor.pool_rebuilds")
+        if self._tracer.enabled:
+            self._tracer.emit("pool.rebuild", "sweep", killed=kill)
         return ProcessPoolExecutor(
             max_workers=self._workers(), initializer=_mark_pool_worker
         )

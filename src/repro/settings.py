@@ -1,0 +1,231 @@
+"""Typed runtime settings: every ``REPRO_*`` knob, resolved in one place.
+
+The harness grew roughly a dozen ad-hoc ``os.environ`` reads — worker
+counts, retry budgets, cache toggles, watchdog budgets — each with its
+own parsing and fallback rules, scattered across the modules that
+consumed them.  This module declares them all as one frozen
+:class:`Settings` dataclass and resolves them in exactly one place,
+with a fixed precedence:
+
+1. **installed overrides** — partial settings pushed by
+   :func:`use_settings` (an explicit config object always wins);
+2. **environment variables** — every knob keeps its ``REPRO_*``
+   spelling as an override channel, with the historical parsing rules
+   (``0``/``no``/``off``/empty are false; malformed numerics fall back
+   silently rather than crash);
+3. **declared defaults** — the field defaults below.
+
+Call :func:`current` for the resolved snapshot.  Resolution re-reads
+the environment on every call, so tests that ``monkeypatch.setenv`` a
+knob keep working unchanged; an installed override shadows the
+environment for the duration of its ``with`` block only.
+
+Raw ``os.environ[`` access outside this module is flagged by lint
+(``ruff`` TID251); everything else calls :func:`current` and reads a
+typed field.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "ENV_KNOBS",
+    "Settings",
+    "current",
+    "from_env",
+    "use_settings",
+]
+
+#: Spellings treated as false by every boolean knob (historical rule).
+_FALSY = ("0", "", "no", "off")
+
+
+def _parse_bool(raw: str) -> bool:
+    return raw.lower() not in _FALSY
+
+
+def _parse_int(raw: str) -> int:
+    return int(raw)
+
+
+def _parse_float(raw: str) -> float:
+    return float(raw)
+
+
+def _parse_retries(raw: str) -> int:
+    return max(1, int(raw))
+
+
+def _parse_backoff(raw: str) -> float:
+    return max(0.0, float(raw))
+
+
+def _parse_workers(raw: str) -> int:
+    return max(1, int(raw))
+
+
+def _parse_deadline(raw: str) -> float | None:
+    value = float(raw)
+    return value if value > 0 else None
+
+
+def _parse_watchdog(raw: str) -> int:
+    return max(0, int(raw))
+
+
+def _parse_str(raw: str) -> str:
+    return raw
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Every environment-tunable knob of the repro harness.
+
+    Field defaults are the documented behaviour with a clean
+    environment; the ``REPRO_*`` variable named next to each field
+    overrides it (see :data:`ENV_KNOBS` for the parsing rule).
+    """
+
+    # -- sweep harness ------------------------------------------------------
+    #: Worker pool size for parallel sweeps (``REPRO_BENCH_WORKERS``;
+    #: None: the CPU count).
+    bench_workers: int | None = None
+    #: Route figure sweeps through the parallel cached harness
+    #: (``REPRO_BENCH_PARALLEL``).
+    bench_parallel: bool = False
+    #: Program scale for the benchmark suite (``REPRO_BENCH_SCALE``).
+    bench_scale: float = 0.5
+    #: On-disk cell/stage cache root (``REPRO_CACHE_DIR``; None:
+    #: ``.repro-cache`` under the working directory).
+    cache_dir: str | None = None
+    #: Reuse θ-invariant stage bundles across sweep cells
+    #: (``REPRO_STAGE_REUSE``).
+    stage_reuse: bool = True
+
+    # -- resilience ---------------------------------------------------------
+    #: Bounded retry attempts per sweep cell (``REPRO_CELL_RETRIES``).
+    cell_retries: int = 3
+    #: Base backoff delay between retries, seconds
+    #: (``REPRO_CELL_BACKOFF``).
+    cell_backoff: float = 0.1
+    #: Per-cell wall-clock deadline, seconds (``REPRO_CELL_DEADLINE``;
+    #: None or 0 disables).
+    cell_deadline: float | None = None
+    #: Per-benchmark circuit-breaker threshold
+    #: (``REPRO_BREAKER_THRESHOLD``; 0 disables).
+    breaker_threshold: int = 8
+
+    # -- VM / runtime -------------------------------------------------------
+    #: VM hang-guard budget in steps (``REPRO_VM_WATCHDOG``; 0
+    #: disables).
+    vm_watchdog: int = 0
+    #: Cross-runtime region decode cache (``REPRO_REGION_CACHE``).
+    region_cache: bool = True
+    #: Table-driven canonical Huffman decode path
+    #: (``REPRO_FAST_DECODE``).
+    fast_decode: bool = True
+
+    # -- observability ------------------------------------------------------
+    #: Enable the structured trace layer (``REPRO_TRACE``).
+    trace: bool = False
+    #: Ring-buffer capacity of the default tracer, in events
+    #: (``REPRO_TRACE_BUFFER``).
+    trace_buffer: int = 65536
+
+    #: Env-variable names whose raw value failed to parse this
+    #: resolution (the knob fell back to its default).  Consumers that
+    #: historically warned on malformed input check membership here.
+    invalid: frozenset = frozenset()
+
+
+#: field name -> (environment variable, parser).  A parser raising
+#: ``ValueError`` marks the variable invalid and keeps the default.
+ENV_KNOBS: dict[str, tuple[str, Callable[[str], Any]]] = {
+    "bench_workers": ("REPRO_BENCH_WORKERS", _parse_workers),
+    "bench_parallel": ("REPRO_BENCH_PARALLEL", _parse_bool),
+    "bench_scale": ("REPRO_BENCH_SCALE", _parse_float),
+    "cache_dir": ("REPRO_CACHE_DIR", _parse_str),
+    "stage_reuse": ("REPRO_STAGE_REUSE", _parse_bool),
+    "cell_retries": ("REPRO_CELL_RETRIES", _parse_retries),
+    "cell_backoff": ("REPRO_CELL_BACKOFF", _parse_backoff),
+    "cell_deadline": ("REPRO_CELL_DEADLINE", _parse_deadline),
+    "breaker_threshold": ("REPRO_BREAKER_THRESHOLD", _parse_int),
+    "vm_watchdog": ("REPRO_VM_WATCHDOG", _parse_watchdog),
+    "region_cache": ("REPRO_REGION_CACHE", _parse_bool),
+    "fast_decode": ("REPRO_FAST_DECODE", _parse_bool),
+    "trace": ("REPRO_TRACE", _parse_bool),
+    "trace_buffer": ("REPRO_TRACE_BUFFER", _parse_int),
+}
+
+# The one sanctioned raw handle on the process environment; the
+# chaos harness swaps it to propagate armed fault specs to workers.
+_ENVIRON = os.environ
+
+#: Stack of partial overrides installed by :func:`use_settings`;
+#: later entries win.
+_OVERRIDES: list[dict[str, Any]] = []
+
+
+def from_env() -> Settings:
+    """Settings resolved from environment variables and defaults only
+    (no installed overrides)."""
+    values: dict[str, Any] = {}
+    invalid: set[str] = set()
+    for field_name, (env_name, parse) in ENV_KNOBS.items():
+        raw = _ENVIRON.get(env_name)
+        if raw is None:
+            continue
+        if raw == "":
+            # Historical rule: an empty value reads as unset, except
+            # for booleans where "" counts among the falsy spellings.
+            if parse is _parse_bool:
+                values[field_name] = False
+            continue
+        try:
+            values[field_name] = parse(raw)
+        except ValueError:
+            invalid.add(env_name)
+    if invalid:
+        values["invalid"] = frozenset(invalid)
+    return Settings(**values)
+
+
+def current() -> Settings:
+    """The resolved settings snapshot: overrides > env > defaults."""
+    settings = from_env()
+    if _OVERRIDES:
+        merged: dict[str, Any] = {}
+        for layer in _OVERRIDES:
+            merged.update(layer)
+        settings = replace(settings, **merged)
+    return settings
+
+
+@contextmanager
+def use_settings(**overrides: Any) -> Iterator[Settings]:
+    """Install partial *overrides* for the duration of the block.
+
+    Overrides shadow both the environment and the defaults — this is
+    the programmatic equivalent of exporting the matching ``REPRO_*``
+    variables, with types checked at the dataclass boundary::
+
+        with settings.use_settings(vm_watchdog=10_000, region_cache=False):
+            ...
+
+    Unknown field names raise immediately rather than being ignored.
+    """
+    valid = {f.name for f in fields(Settings)}
+    unknown = set(overrides) - valid
+    if unknown:
+        raise TypeError(
+            f"unknown settings field(s): {', '.join(sorted(unknown))}"
+        )
+    _OVERRIDES.append(dict(overrides))
+    try:
+        yield current()
+    finally:
+        _OVERRIDES.pop()

@@ -15,13 +15,14 @@ space in the image but whose execution we simulate (see DESIGN.md).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import settings as _settings
 from repro.errors import WatchdogExpired
 from repro.isa.encoding import WORD_MASK
 from repro.isa.opcodes import AluOp, Op, SysOp
+from repro.obs.trace import get_tracer
 from repro.program.image import LoadedImage
 
 _SIGN_BIT = 1 << 31
@@ -38,13 +39,10 @@ def _env_watchdog() -> int:
     """The process-wide watchdog budget (``REPRO_VM_WATCHDOG``).
 
     0 or unset disables the guard; a malformed value is treated as
-    unset (the guard must never turn a healthy run into a crash).
+    unset (the guard must never turn a healthy run into a crash) —
+    both rules live in :mod:`repro.settings` now.
     """
-    raw = os.environ.get("REPRO_VM_WATCHDOG", "")
-    try:
-        return max(0, int(raw)) if raw else 0
-    except ValueError:
-        return 0
+    return _settings.current().vm_watchdog
 
 
 class MachineFault(Exception):
@@ -163,6 +161,7 @@ class Machine:
         self.watchdog = _env_watchdog() if watchdog is None else max(0, watchdog)
         self._watchdog_surcharge = 0
         self.count_blocks = count_blocks
+        self._tracer = get_tracer()
         self.block_counts: dict[int, int] = {}
         self._block_heads = set(image.block_heads) if count_blocks else set()
         # Guest stores may not touch code segments; services may.  The
@@ -236,6 +235,14 @@ class Machine:
         OP_JMP, OP_JSR, OP_RET = int(Op.JMP), int(Op.JSR), int(Op.RET)
         OP_OPR, OP_OPI = int(Op.OPR), int(Op.OPI)
 
+        tracer = self._tracer
+        if tracer.enabled:
+            # Runtime-category events are stamped with modelled cycles
+            # (never wall time), keeping the stream deterministic.
+            tracer.emit(
+                "vm.run", "runtime", phase="B", ts=cycles,
+                entry_pc=pc, steps=steps,
+            )
         try:
             while True:
                 if services:
@@ -433,6 +440,12 @@ class Machine:
             self.cycles = cycles
             self._min_sp = min_sp
             self._watchdog_surcharge = svc_charge
+            if tracer.enabled:
+                tracer.emit(
+                    "vm.run", "runtime", phase="E", ts=cycles,
+                    steps=steps, cycles=cycles,
+                    exit_code=self.exit_code,
+                )
 
         assert self.exit_code is not None
         return RunResult(

@@ -1,0 +1,258 @@
+"""The trace layer: ring buffer, determinism, exporters, CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    TraceEvent,
+    Tracer,
+    chrome_trace,
+    get_tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+SCALE = 0.2
+THETA = 1e-4
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit("x", "runtime", ts=1)
+        assert tracer.events() == []
+
+    def test_emit_and_read_back(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit("a", "runtime", ts=10, region=3)
+        (event,) = tracer.events()
+        assert event.name == "a"
+        assert event.ts == 10
+        assert event.args == (("region", 3),)
+
+    def test_per_category_sequence_numbers(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit("a", "runtime", ts=1)
+        tracer.emit("b", "pipeline")
+        tracer.emit("c", "runtime", ts=2)
+        runtime = tracer.events("runtime")
+        assert [e.seq for e in runtime] == [0, 1]
+        assert [e.seq for e in tracer.events("pipeline")] == [0]
+
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        tracer = Tracer(capacity=3, enabled=True)
+        for i in range(5):
+            tracer.emit(f"e{i}", "runtime", ts=i)
+        events = tracer.events()
+        assert [e.name for e in events] == ["e2", "e3", "e4"]
+        assert tracer.dropped == 2
+
+    def test_span_emits_begin_end_pair(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", "pipeline", provides="a"):
+            pass
+        begin, end = tracer.events()
+        assert (begin.phase, end.phase) == ("B", "E")
+        assert begin.name == end.name == "work"
+        assert end.ts >= begin.ts
+
+    def test_span_disabled_is_free(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work", "pipeline"):
+            pass
+        assert tracer.events() == []
+
+    def test_clear_resets_sequences_and_drops(self):
+        tracer = Tracer(capacity=1, enabled=True)
+        tracer.emit("a", "runtime", ts=1)
+        tracer.emit("b", "runtime", ts=2)
+        tracer.clear()
+        assert tracer.dropped == 0
+        tracer.emit("c", "runtime", ts=3)
+        assert tracer.events()[0].seq == 0
+
+    def test_default_tracer_is_singleton_and_disabled(self):
+        assert get_tracer() is get_tracer()
+
+
+class TestExporters:
+    def _events(self):
+        return [
+            TraceEvent(
+                name="region.decompress", cat="runtime", phase="B",
+                ts=100, seq=0, args=(("region", 2),),
+            ),
+            TraceEvent(
+                name="decode_cache.miss", cat="runtime", phase="i",
+                ts=100, seq=1,
+            ),
+        ]
+
+    def test_chrome_trace_shape(self):
+        doc = chrome_trace(self._events())
+        # Chrome trace-event JSON: top-level traceEvents array whose
+        # entries carry name/cat/ph/ts/pid/tid.
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "metadata"}
+        for event in doc["traceEvents"]:
+            assert {"name", "cat", "ph", "ts", "pid", "tid", "args"} <= set(
+                event
+            )
+        assert doc["traceEvents"][1]["s"] == "t"  # instant scope
+
+    def test_chrome_trace_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, self._events())
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 2
+        assert doc["traceEvents"][0]["args"] == {"region": 2}
+
+    def test_jsonl_one_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, self._events())
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["cat"] == "runtime" for line in lines)
+
+    def test_jsonl_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_jsonl(path, [])
+        assert path.read_text() == ""
+
+
+@pytest.fixture
+def armed_tracer():
+    tracer = get_tracer()
+    was = tracer.enabled
+    tracer.enable()
+    tracer.clear()
+    yield tracer
+    tracer.clear()
+    tracer.enabled = was
+
+
+class TestRuntimeEventStream:
+    def _traced_run(self, tracer):
+        from repro.analysis.experiments import (
+            map_theta,
+            squash_benchmark,
+        )
+        from repro.core.pipeline import SquashConfig
+        from repro.core.runtime import clear_region_decode_cache
+        from repro.workloads.mediabench import mediabench_program
+
+        bench = mediabench_program("adpcm", scale=SCALE)
+        config = SquashConfig(theta=map_theta(THETA))
+        result = squash_benchmark("adpcm", SCALE, config)
+        # The region decode cache is process-global; drop it so every
+        # run sees the same cold-cache hit/miss pattern, as a fresh
+        # ``repro trace`` invocation would.
+        clear_region_decode_cache()
+        tracer.clear()
+        run, _ = result.run(bench.timing_input, max_steps=500_000_000)
+        return run, tracer.events("runtime")
+
+    def test_runtime_events_are_deterministic(self, armed_tracer):
+        """Same program, same input: byte-identical event stream."""
+        run1, events1 = self._traced_run(armed_tracer)
+        run2, events2 = self._traced_run(armed_tracer)
+        assert run1.cycles == run2.cycles
+        assert events1 == events2
+        assert events1, "the squashed run emitted no runtime events"
+
+    def test_runtime_events_are_cycle_stamped_and_ordered(self, armed_tracer):
+        _, events = self._traced_run(armed_tracer)
+        names = {event.name for event in events}
+        assert "vm.run" in names
+        assert "region.decompress" in names
+        # Runtime timestamps are modelled cycles: integers that never
+        # decrease along the per-category sequence.
+        assert all(float(e.ts).is_integer() for e in events)
+        assert all(
+            a.ts <= b.ts and a.seq < b.seq
+            for a, b in zip(events, events[1:])
+        )
+
+    def test_decompress_spans_pair_up(self, armed_tracer):
+        _, events = self._traced_run(armed_tracer)
+        begins = [
+            e for e in events
+            if e.name == "region.decompress" and e.phase == "B"
+        ]
+        ends = [
+            e for e in events
+            if e.name == "region.decompress" and e.phase == "E"
+        ]
+        assert len(begins) == len(ends) > 0
+
+
+class TestCli:
+    def _trace_json(self, capsys, extra=()):
+        from repro.cli import main
+
+        code = main(
+            ["trace", "adpcm", "--scale", str(SCALE),
+             "--theta", str(THETA), *extra]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        return json.loads(out.splitlines()[0])
+
+    @pytest.fixture(autouse=True)
+    def _restore_tracer(self):
+        tracer = get_tracer()
+        was = tracer.enabled
+        yield
+        tracer.clear()
+        tracer.enabled = was
+
+    def test_trace_command_emits_valid_chrome_json(self, capsys):
+        doc = self._trace_json(capsys)
+        assert doc["traceEvents"]
+        assert all(e["cat"] == "runtime" for e in doc["traceEvents"])
+
+    def test_trace_command_is_deterministic(self, capsys):
+        first = self._trace_json(capsys)
+        second = self._trace_json(capsys)
+        assert first == second
+
+    def test_trace_writes_files(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        code = main(
+            ["trace", "adpcm", "--scale", str(SCALE),
+             "--theta", str(THETA),
+             "--out", str(out), "--jsonl", str(jsonl)]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) == len(
+            jsonl.read_text().splitlines()
+        )
+
+    def test_metrics_command_renders_registry(self, capsys):
+        from repro.cli import main
+        from repro.obs.metrics import get_registry
+
+        get_registry().reset()
+        code = main(["metrics", "adpcm", "--scale", str(SCALE),
+                     "--theta", str(THETA)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decode_cache" in out or "pipeline.stage" in out
+
+    def test_metrics_command_json_snapshot(self, capsys):
+        from repro.cli import main
+
+        code = main(["metrics", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        snap = json.loads(out)
+        assert set(snap) == {"counters", "gauges", "histograms"}
+
+    def test_metrics_rejects_unknown_benchmark(self, capsys):
+        from repro.cli import main
+
+        assert main(["metrics", "not-a-benchmark"]) == 2

@@ -1,0 +1,171 @@
+"""Typed settings resolution: defaults, env overrides, precedence."""
+
+import dataclasses
+
+import pytest
+
+from repro import settings
+
+
+ALL_KNOB_VARS = [env for env, _ in settings.ENV_KNOBS.values()]
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    for name in ALL_KNOB_VARS:
+        monkeypatch.delenv(name, raising=False)
+
+
+class TestDefaults:
+    def test_clean_environment_resolves_declared_defaults(self):
+        resolved = settings.current()
+        assert resolved == settings.Settings()
+
+    def test_every_field_has_an_env_spelling_except_invalid(self):
+        fields = {f.name for f in dataclasses.fields(settings.Settings)}
+        assert set(settings.ENV_KNOBS) == fields - {"invalid"}
+
+    def test_defaults_document_the_historical_behaviour(self):
+        resolved = settings.current()
+        assert resolved.bench_workers is None
+        assert resolved.cell_retries == 3
+        assert resolved.cell_deadline is None
+        assert resolved.breaker_threshold == 8
+        assert resolved.region_cache is True
+        assert resolved.fast_decode is True
+        assert resolved.trace is False
+
+
+class TestEnvParsing:
+    @pytest.mark.parametrize("raw", ["0", "", "no", "off", "No", "OFF"])
+    def test_falsy_bool_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_REGION_CACHE", raw)
+        assert settings.current().region_cache is False
+
+    @pytest.mark.parametrize("raw", ["1", "yes", "on", "anything"])
+    def test_truthy_bool_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        assert settings.current().trace is True
+
+    def test_numeric_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "6")
+        monkeypatch.setenv("REPRO_CELL_BACKOFF", "0.5")
+        monkeypatch.setenv("REPRO_VM_WATCHDOG", "1000")
+        resolved = settings.current()
+        assert resolved.bench_workers == 6
+        assert resolved.cell_backoff == 0.5
+        assert resolved.vm_watchdog == 1000
+
+    def test_historical_clamps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "-3")
+        monkeypatch.setenv("REPRO_CELL_BACKOFF", "-1.0")
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "0")
+        monkeypatch.setenv("REPRO_VM_WATCHDOG", "-5")
+        resolved = settings.current()
+        assert resolved.cell_retries == 1
+        assert resolved.cell_backoff == 0.0
+        assert resolved.bench_workers == 1
+        assert resolved.vm_watchdog == 0
+
+    def test_nonpositive_deadline_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_DEADLINE", "0")
+        assert settings.current().cell_deadline is None
+        monkeypatch.setenv("REPRO_CELL_DEADLINE", "2.5")
+        assert settings.current().cell_deadline == 2.5
+
+    def test_malformed_value_keeps_default_and_is_flagged(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "many")
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "lots")
+        resolved = settings.current()
+        assert resolved.bench_workers is None
+        assert resolved.cell_retries == 3
+        assert resolved.invalid == frozenset(
+            {"REPRO_BENCH_WORKERS", "REPRO_CELL_RETRIES"}
+        )
+
+    def test_empty_string_reads_as_unset_for_non_bools(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "")
+        resolved = settings.current()
+        assert resolved.cache_dir is None
+        assert resolved.cell_retries == 3
+        assert resolved.invalid == frozenset()
+
+    def test_resolution_rereads_environment(self, monkeypatch):
+        assert settings.current().vm_watchdog == 0
+        monkeypatch.setenv("REPRO_VM_WATCHDOG", "77")
+        assert settings.current().vm_watchdog == 77
+
+
+class TestPrecedence:
+    def test_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "9")
+        with settings.use_settings(cell_retries=2) as resolved:
+            assert resolved.cell_retries == 2
+            assert settings.current().cell_retries == 2
+        assert settings.current().cell_retries == 9
+
+    def test_environment_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STAGE_REUSE", "0")
+        assert settings.current().stage_reuse is False
+
+    def test_overrides_nest_latest_wins(self):
+        with settings.use_settings(vm_watchdog=10):
+            with settings.use_settings(vm_watchdog=20):
+                assert settings.current().vm_watchdog == 20
+            assert settings.current().vm_watchdog == 10
+
+    def test_partial_override_leaves_other_fields_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.75")
+        with settings.use_settings(cell_retries=1):
+            resolved = settings.current()
+            assert resolved.cell_retries == 1
+            assert resolved.bench_scale == 0.75
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(TypeError, match="unknown settings field"):
+            with settings.use_settings(not_a_knob=1):
+                pass
+
+
+class TestConsumers:
+    def test_supervisor_config_resolves_from_settings(self, monkeypatch):
+        from repro.resilience.supervisor import SupervisorConfig
+
+        monkeypatch.setenv("REPRO_CELL_DEADLINE", "4.0")
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "5")
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "11")
+        cfg = SupervisorConfig.from_env()
+        assert cfg.deadline == 4.0
+        assert cfg.retry.max_attempts == 5
+        assert cfg.breaker_threshold == 11
+
+    def test_supervisor_config_honours_overrides(self):
+        from repro.resilience.supervisor import SupervisorConfig
+
+        with settings.use_settings(cell_retries=1, cell_backoff=0.0):
+            cfg = SupervisorConfig.from_settings()
+        assert cfg.retry.max_attempts == 1
+        assert cfg.retry.backoff_base == 0.0
+
+    def test_cache_dir_resolves_through_settings(self, monkeypatch, tmp_path):
+        from repro.analysis.parallel import cache_dir
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cells"))
+        assert cache_dir() == tmp_path / "cells"
+        with settings.use_settings(cache_dir=str(tmp_path / "other")):
+            assert cache_dir() == tmp_path / "other"
+
+    def test_stage_reuse_gate_honours_overrides(self):
+        from repro.analysis.stagecache import stage_reuse_enabled
+
+        assert stage_reuse_enabled() is True
+        with settings.use_settings(stage_reuse=False):
+            assert stage_reuse_enabled() is False
+
+    def test_fast_decode_default_honours_overrides(self):
+        from repro.compress.codec import fast_decode_default
+
+        with settings.use_settings(fast_decode=False):
+            assert fast_decode_default() is False
+        assert fast_decode_default() is True

@@ -30,6 +30,24 @@ SCALE = GOLDEN["scale"]
 THETAS = tuple(GOLDEN["thetas"])
 
 
+@pytest.fixture(autouse=True, scope="module")
+def _tracing_armed():
+    """Run the whole golden grid with the trace layer enabled.
+
+    The digests were captured before the observability layer existed,
+    so a green grid here proves tracing observes without perturbing:
+    byte-identical images and identical modelled cycles, all 11
+    benchmarks x 4 thetas.
+    """
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    was = tracer.enabled
+    tracer.enable()
+    yield
+    tracer.enabled = was
+
+
 def image_digest(image) -> str:
     h = hashlib.sha256()
     h.update(image.base.to_bytes(8, "little"))
@@ -66,3 +84,14 @@ def test_staged_pipeline_matches_golden(name):
         assert run.cycles == want["cycles"], cell
         assert output_digest(run.output) == want["output_sha256"], cell
         assert run.exit_code == want["exit_code"], cell
+
+
+def test_tracing_was_live_during_grid():
+    """The grid above must actually have exercised the armed tracer —
+    otherwise the zero-perturbation claim is vacuous."""
+    from repro.obs.trace import get_tracer
+
+    assert get_tracer().events("runtime"), (
+        "no runtime trace events were recorded while the golden grid "
+        "ran with tracing enabled"
+    )
