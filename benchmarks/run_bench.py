@@ -1,31 +1,45 @@
 #!/usr/bin/env python
-"""Decode-path benchmark: table-driven decoder and the parallel harness.
+"""Decode-path benchmark: decoder backends and the parallel harness.
 
-Produces ``BENCH_decode.json`` with two sections:
+Produces ``BENCH_decode.json`` (format **v2**) with three sections:
 
-* ``decoder`` -- symbol-decode throughput of ``ProgramCodec.
-  decode_region`` over the pooled MediaBench streams, bit-at-a-time
-  reference (``fast=False``) vs. the table-driven path (``fast=True``).
+* ``decoder`` -- throughput and latency of every registered decode
+  backend (``reference``, ``table``, ``vector``) over the pooled
+  MediaBench streams: symbols/sec, regions/sec, and p50/p99 per-region
+  decode latency.  Reference and table decode region-by-region, so
+  their latency is per call; the vector backend decodes each stream's
+  regions in one lane-parallel batch, so its per-region latency is the
+  batch time amortized over the regions (recorded as such in
+  ``latency_model``).  All backends must produce byte-identical items
+  -- the run aborts on digest divergence.
 * ``fig7_time_sweep`` -- wall-clock of the full ``fig7_time_rows``
-  sweep: the serial driver vs. the parallel cached harness, cold
-  (empty on-disk cache) and warm (second run against the same cache).
-  Each timing runs in a fresh interpreter so in-process ``lru_cache``
-  state never leaks between configurations; on a single-core host the
-  cold run has no pool speedup and the win comes from the persistent
-  cache on reruns, which is recorded as-is.
+  sweep: the serial driver vs. the parallel cached harness at 1, 2,
+  and ``effective_bench_workers()`` workers (deduplicated), each cold
+  against an empty cache, plus one warm rerun.  Every entry records
+  the worker count the child actually used and the host CPU count; a
+  run resolved to a single worker is labelled ``single-worker``, never
+  ``parallel``.
+* ``pool_warm`` -- two identical supervised sweeps in one process with
+  the disk cache off: the second leases the persistent warm pool built
+  by the first (``REPRO_POOL_PERSIST``), so the delta is the
+  once-per-host spawn/warm-up cost, cross-checked against the
+  ``pool.acquire.*`` and ``stagecache.*`` metrics.
 
 Usage::
 
     python benchmarks/run_bench.py [--scale 0.3] [--out BENCH_decode.json]
+        [--skip-sweep] [--assert-vector-faster]
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import pathlib
 import platform
+import statistics
 import subprocess
 import sys
 import tempfile
@@ -37,6 +51,13 @@ if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
 DECODER_REPEATS = 3
+BENCH_VERSION = 2
+
+#: Decoder backends measured, in report order.
+BACKENDS = ("reference", "table", "vector")
+
+
+# -- decoder microbenchmark --------------------------------------------------
 
 
 def _build_pools(scale: float):
@@ -56,57 +77,159 @@ def _build_pools(scale: float):
     return pools
 
 
-def _decode_pass(pools, fast: bool) -> tuple[int, float]:
+def _count_symbols(items) -> int:
+    # one opcode symbol per item and per sentinel, one per field
+    return 1 + sum(1 + len(item.fields) for item in items)
+
+
+def _digest_results(results) -> str:
+    """Canonical digest of decoded items + bit counts, backend-neutral."""
+    h = hashlib.sha256()
+    for items, bits in results:
+        h.update(str(bits).encode())
+        for item in items:
+            h.update(
+                (f"{item.opcode}:" + ",".join(map(str, item.fields))).encode()
+            )
+        h.update(b";")
+    return h.hexdigest()
+
+
+def _decode_pass_sequential(pools, backend: str):
+    """One pass, region at a time: totals plus per-region latencies."""
     symbols = 0
+    regions = 0
+    latencies = []
+    results = []
     start = time.perf_counter()
     for codec, words, offsets in pools:
         for offset in offsets:
-            items, _bits = codec.decode_region(words, offset, fast=fast)
-            # one opcode symbol per item and per sentinel, one per field
-            symbols += 1 + sum(1 + len(item.fields) for item in items)
-    return symbols, time.perf_counter() - start
+            t0 = time.perf_counter()
+            items, bits = codec.decode_region(words, offset, backend=backend)
+            latencies.append(time.perf_counter() - t0)
+            symbols += _count_symbols(items)
+            regions += 1
+            results.append((items, bits))
+    return symbols, regions, time.perf_counter() - start, latencies, results
+
+
+def _decode_pass_vector(pools):
+    """One pass, every stream in a single lane-parallel batch.
+
+    ``vector.decode_batch`` is the backend's throughput entry point:
+    all regions of all streams chase in one fused pass, which is how a
+    bulk consumer (the runtime warm path, a sweep worker) would drive
+    it.  Per-region latency is therefore the batch time amortized over
+    the regions -- the honest number for a backend whose setup is paid
+    once per batch, not per call.
+    """
+    from repro.compress import vector
+
+    jobs = [(codec, words, list(offsets)) for codec, words, offsets in pools]
+    start = time.perf_counter()
+    decoded_jobs = vector.decode_batch(jobs)
+    elapsed = time.perf_counter() - start
+    symbols = 0
+    regions = 0
+    results = []
+    for decoded in decoded_jobs:
+        for items, bits in decoded:
+            symbols += _count_symbols(items)
+            regions += 1
+            results.append((items, bits))
+    latencies = [elapsed / regions] * regions
+    return symbols, regions, elapsed, latencies, results
+
+
+def _percentile(samples, fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return ordered[index]
 
 
 def bench_decoder(scale: float) -> dict:
     pools = _build_pools(scale)
-    results = {}
-    for label, fast in (("reference", False), ("table", True)):
+    report: dict = {"streams": len(pools)}
+    digests = {}
+    for backend in BACKENDS:
         best = None
-        symbols = 0
         for _ in range(DECODER_REPEATS):
-            symbols, elapsed = _decode_pass(pools, fast)
-            best = elapsed if best is None else min(best, elapsed)
-        results[label] = {
+            if backend == "vector":
+                pass_result = _decode_pass_vector(pools)
+            else:
+                pass_result = _decode_pass_sequential(pools, backend)
+            symbols, regions, elapsed, latencies, results = pass_result
+            if best is None or elapsed < best[0]:
+                best = (elapsed, symbols, regions, latencies, results)
+        elapsed, symbols, regions, latencies, results = best
+        digests[backend] = _digest_results(results)
+        report[backend] = {
             "symbols": symbols,
-            "seconds": round(best, 4),
-            "symbols_per_second": round(symbols / best),
+            "regions": regions,
+            "seconds": round(elapsed, 4),
+            "symbols_per_second": round(symbols / elapsed),
+            "regions_per_second": round(regions / elapsed),
+            "p50_region_seconds": round(statistics.median(latencies), 9),
+            "p99_region_seconds": round(_percentile(latencies, 0.99), 9),
+            "latency_model": (
+                "amortized-batch" if backend == "vector" else "per-call"
+            ),
         }
-    results["speedup"] = round(
-        results["table"]["symbols_per_second"]
-        / results["reference"]["symbols_per_second"],
+    if len(set(digests.values())) != 1:
+        raise AssertionError(
+            f"decode backends diverged: {digests}"
+        )
+    report["digest"] = digests["table"]
+    report["digests_identical"] = True
+    report["speedup_table_over_reference"] = round(
+        report["table"]["symbols_per_second"]
+        / report["reference"]["symbols_per_second"],
         2,
     )
-    results["streams"] = len(pools)
-    return results
+    report["speedup_vector_over_table"] = round(
+        report["vector"]["symbols_per_second"]
+        / report["table"]["symbols_per_second"],
+        2,
+    )
+    return report
+
+
+# -- fig7 sweep scaling ------------------------------------------------------
+
+
+def sweep_mode_label(workers: int) -> str:
+    """The honest label for a sweep that resolved to *workers*.
+
+    A one-worker run exercises the cached harness but not the pool --
+    calling it "parallel" would launder a serial measurement into a
+    parallel claim, which is exactly the provenance bug this bench
+    fixes.
+    """
+    return "parallel" if workers > 1 else "single-worker"
 
 
 def _child_sweep(mode: str, scale: float) -> None:
     """Subprocess entry: time one full fig7_time_rows sweep."""
+    from repro import settings
+
     if mode == "serial":
         from repro.analysis.experiments import fig7_time_rows
-
-        start = time.perf_counter()
-        rows = fig7_time_rows(scale=scale)
     else:
         from repro.analysis.parallel import fig7_time_rows
 
-        start = time.perf_counter()
-        rows = fig7_time_rows(scale=scale)
+    workers = (
+        settings.effective_bench_workers() if mode == "parallel" else 1
+    )
+    start = time.perf_counter()
+    rows = fig7_time_rows(scale=scale)
     elapsed = time.perf_counter() - start
     print(
         json.dumps(
             {
                 "elapsed": elapsed,
+                "workers": workers,
+                "mode": sweep_mode_label(workers) if mode == "parallel"
+                else "serial",
                 "rows": [
                     [row.name, row.theta_paper, row.relative_time]
                     for row in rows
@@ -116,11 +239,18 @@ def _child_sweep(mode: str, scale: float) -> None:
     )
 
 
-def _run_sweep(mode: str, scale: float, cache_dir: str | None) -> dict:
+def _run_sweep(
+    mode: str,
+    scale: float,
+    cache_dir: str | None,
+    workers: int | None = None,
+) -> dict:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC)
     if cache_dir is not None:
         env["REPRO_CACHE_DIR"] = cache_dir
+    if workers is not None:
+        env["REPRO_BENCH_WORKERS"] = str(workers)
     proc = subprocess.run(
         [
             sys.executable,
@@ -139,22 +269,111 @@ def _run_sweep(mode: str, scale: float, cache_dir: str | None) -> dict:
 
 
 def bench_sweep(scale: float) -> dict:
-    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
-        cold = _run_sweep("parallel", scale, cache_dir=tmp)
-        warm = _run_sweep("parallel", scale, cache_dir=tmp)
-        serial = _run_sweep("serial", scale, cache_dir=None)
-    if not (serial["rows"] == cold["rows"] == warm["rows"]):
-        raise AssertionError(
-            "parallel harness rows diverged from the serial driver"
-        )
+    from repro import settings
+
+    native = settings.effective_bench_workers()
+    ladder = sorted({1, 2, native} & set(range(1, native + 1)) | {1})
+    serial = _run_sweep("serial", scale, cache_dir=None)
+    scaling = []
+    warm = None
+    for workers in ladder:
+        with tempfile.TemporaryDirectory(
+            prefix="repro-bench-cache-"
+        ) as tmp:
+            cold = _run_sweep(
+                "parallel", scale, cache_dir=tmp, workers=workers
+            )
+            if cold["rows"] != serial["rows"]:
+                raise AssertionError(
+                    "parallel harness rows diverged from the serial driver"
+                )
+            entry = {
+                "workers": cold["workers"],
+                "mode": cold["mode"],
+                "cold_seconds": round(cold["elapsed"], 2),
+                "speedup_vs_serial": round(
+                    serial["elapsed"] / cold["elapsed"], 2
+                ),
+            }
+            if workers == max(ladder):
+                rerun = _run_sweep(
+                    "parallel", scale, cache_dir=tmp, workers=workers
+                )
+                if rerun["rows"] != serial["rows"]:
+                    raise AssertionError(
+                        "warm rerun rows diverged from the serial driver"
+                    )
+                warm = {
+                    "workers": rerun["workers"],
+                    "mode": rerun["mode"],
+                    "warm_seconds": round(rerun["elapsed"], 4),
+                    "speedup_vs_serial": round(
+                        serial["elapsed"] / rerun["elapsed"], 1
+                    ),
+                }
+            scaling.append(entry)
     return {
         "rows": len(serial["rows"]),
+        "cpus": os.cpu_count(),
         "serial_seconds": round(serial["elapsed"], 2),
-        "parallel_cold_seconds": round(cold["elapsed"], 2),
-        "parallel_warm_seconds": round(warm["elapsed"], 4),
-        "speedup_cold": round(serial["elapsed"] / cold["elapsed"], 2),
-        "speedup_warm": round(serial["elapsed"] / warm["elapsed"], 1),
-        "workers": os.cpu_count(),
+        "scaling": scaling,
+        "warm": warm,
+    }
+
+
+# -- persistent-pool warm-up measurement -------------------------------------
+
+POOL_WARM_WORKERS = 2
+
+
+def bench_pool_warm(scale: float) -> dict:
+    """Two identical cache-off supervised sweeps in this process.
+
+    The first run spawns and warms the pool (imports, codec tables,
+    stage-bundle memo in each worker); the second leases the same
+    workers back.  The disk cache is off for both, so every saved
+    second is pool persistence, not cache hits.
+    """
+    from repro import settings
+    from repro.analysis.experiments import FIG7_THETAS, map_theta
+    from repro.analysis.parallel import compute_cells
+    from repro.core.pipeline import SquashConfig
+    from repro.obs.metrics import get_registry
+    from repro.workloads.mediabench import MEDIABENCH
+
+    cells = [
+        ("size", name, scale, SquashConfig(theta=map_theta(theta)))
+        for name in MEDIABENCH
+        for theta in FIG7_THETAS
+    ]
+
+    def _timed() -> float:
+        start = time.perf_counter()
+        compute_cells(
+            cells, parallel=True, workers=POOL_WARM_WORKERS, cache=False
+        )
+        return time.perf_counter() - start
+
+    with settings.use_settings(pool_persist=True):
+        counters = get_registry().snapshot()["counters"]
+        before = {
+            key: counters.get(key, 0)
+            for key in ("pool.acquire.fresh", "pool.acquire.reuse")
+        }
+        cold = _timed()
+        warm = _timed()
+        counters = get_registry().snapshot()["counters"]
+    return {
+        "workers": POOL_WARM_WORKERS,
+        "cpus": os.cpu_count(),
+        "cells": len(cells),
+        "cold_seconds": round(cold, 2),
+        "warm_pool_seconds": round(warm, 2),
+        "speedup": round(cold / warm, 2),
+        "pool_acquire_fresh": counters.get("pool.acquire.fresh", 0)
+        - before["pool.acquire.fresh"],
+        "pool_acquire_reuse": counters.get("pool.acquire.reuse", 0)
+        - before["pool.acquire.reuse"],
     }
 
 
@@ -170,6 +389,11 @@ def main() -> None:
         action="store_true",
         help="only run the decoder microbenchmark",
     )
+    parser.add_argument(
+        "--assert-vector-faster",
+        action="store_true",
+        help="exit nonzero unless the vector backend beats table",
+    )
     args = parser.parse_args()
 
     if args.child:
@@ -177,26 +401,47 @@ def main() -> None:
         return
 
     report = {
+        "version": BENCH_VERSION,
         "python": platform.python_version(),
         "cpus": os.cpu_count(),
         "scale": args.scale,
         "decoder": bench_decoder(args.scale),
     }
+    decoder = report["decoder"]
     print(
-        "decoder: {reference[symbols_per_second]:,} -> "
-        "{table[symbols_per_second]:,} sym/s ({speedup}x)".format(
-            **report["decoder"]
-        )
+        "decoder: {reference[symbols_per_second]:,} ref -> "
+        "{table[symbols_per_second]:,} table -> "
+        "{vector[symbols_per_second]:,} vector sym/s "
+        "(table {speedup_table_over_reference}x, "
+        "vector {speedup_vector_over_table}x over table)".format(**decoder)
     )
+    if args.assert_vector_faster and (
+        decoder["vector"]["symbols_per_second"]
+        <= decoder["table"]["symbols_per_second"]
+    ):
+        print("FAIL: vector backend is not faster than table")
+        sys.exit(1)
     if not args.skip_sweep:
         report["fig7_time_sweep"] = bench_sweep(args.scale)
         sweep = report["fig7_time_sweep"]
+        for entry in sweep["scaling"]:
+            print(
+                f"fig7 sweep [{entry['mode']} x{entry['workers']}]: "
+                f"cold {entry['cold_seconds']}s "
+                f"({entry['speedup_vs_serial']}x vs serial "
+                f"{sweep['serial_seconds']}s)"
+            )
+        if sweep["warm"]:
+            print(
+                f"fig7 sweep warm: {sweep['warm']['warm_seconds']}s "
+                f"({sweep['warm']['speedup_vs_serial']}x)"
+            )
+        report["pool_warm"] = bench_pool_warm(args.scale)
+        pool = report["pool_warm"]
         print(
-            f"fig7 sweep: serial {sweep['serial_seconds']}s, "
-            f"parallel cold {sweep['parallel_cold_seconds']}s "
-            f"({sweep['speedup_cold']}x), warm "
-            f"{sweep['parallel_warm_seconds']}s "
-            f"({sweep['speedup_warm']}x)"
+            f"pool warm: cold {pool['cold_seconds']}s -> warm "
+            f"{pool['warm_pool_seconds']}s ({pool['speedup']}x, "
+            f"reuse={pool['pool_acquire_reuse']})"
         )
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")

@@ -37,7 +37,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 import pathlib
 import warnings
 
@@ -99,8 +98,6 @@ def cache_dir() -> pathlib.Path:
 
 def _workers() -> int:
     resolved = _settings.current()
-    if resolved.bench_workers is not None:
-        return resolved.bench_workers
     if "REPRO_BENCH_WORKERS" in resolved.invalid:
         warnings.warn(
             "REPRO_BENCH_WORKERS is not an integer; "
@@ -108,7 +105,7 @@ def _workers() -> int:
             RuntimeWarning,
             stacklevel=2,
         )
-    return max(1, os.cpu_count() or 1)
+    return _settings.effective_bench_workers(resolved)
 
 
 def _cell_digest(kind: str, name: str, scale: float, config: SquashConfig) -> str:

@@ -57,6 +57,28 @@ def fast_decode_default() -> bool:
     return settings.current().fast_decode
 
 
+def resolve_decode_backend(
+    fast: bool | None = None, backend: str | None = None
+) -> str:
+    """The decode-backend name a region decode should use.
+
+    Precedence: an explicit *fast* flag (the pre-backend API) wins,
+    then an explicit *backend* name, then ``REPRO_DECODE_BACKEND``
+    (via :mod:`repro.settings`), then the legacy ``fast_decode`` flag
+    (True -> ``table``, False -> ``reference``).
+    """
+    if fast is not None:
+        return "table" if fast else "reference"
+    if backend:
+        return backend
+    from repro import settings
+
+    resolved = settings.current()
+    if resolved.decode_backend:
+        return resolved.decode_backend
+    return "table" if resolved.fast_decode else "reference"
+
+
 @dataclass(frozen=True)
 class CodecConfig:
     """Compression options."""
@@ -359,7 +381,11 @@ class ProgramCodec:
         return table
 
     def decode_region(
-        self, words: Sequence[int], bit_offset: int, fast: bool | None = None
+        self,
+        words: Sequence[int],
+        bit_offset: int,
+        fast: bool | None = None,
+        backend: str | None = None,
     ) -> tuple[list[CodecInstr], int]:
         """Decode one region starting at *bit_offset*.
 
@@ -367,16 +393,43 @@ class ProgramCodec:
         excluded) and the number of bits consumed -- the runtime charges
         decompression cost proportional to it.
 
-        With *fast* (default: :func:`fast_decode_default`) and the
-        canonical Huffman coder, decoding runs through a specialised
-        loop that keeps the bit window in locals and resolves codewords
-        by first-level table lookup; it decodes the same items from the
-        same bits as the generic loop below.
+        The mechanics are chosen by :func:`resolve_decode_backend`
+        (*fast* and *backend* are explicit overrides; the environment
+        picks otherwise): ``reference`` is the paper-verbatim
+        bit-at-a-time loop, ``table`` the specialised first-level-table
+        loop, ``vector`` the numpy batch machine of
+        :mod:`repro.compress.vector`.  All three decode the same items
+        from the same bits.
         """
-        if fast is None:
-            fast = fast_decode_default()
-        if fast and self.coder == "huffman":
-            return self._decode_region_fast(words, bit_offset)
+        name = resolve_decode_backend(fast, backend)
+        return DECODE_BACKENDS.get(name)(self, words, bit_offset)
+
+    def decode_regions(
+        self,
+        words: Sequence[int],
+        bit_offsets: Sequence[int],
+        backend: str | None = None,
+    ) -> list[tuple[list[CodecInstr], int]]:
+        """Decode many regions of one stream, in order.
+
+        With the ``vector`` backend the whole batch decodes in one
+        lane-parallel pass -- this is the throughput entry point the
+        runtime warm path and the benchmarks use; other backends loop.
+        """
+        name = resolve_decode_backend(None, backend)
+        if name == "vector":
+            from repro.compress import vector
+
+            return vector.decode_regions(self, words, list(bit_offsets))
+        return [
+            self.decode_region(words, offset, backend=name)
+            for offset in bit_offsets
+        ]
+
+    def _decode_region_generic(
+        self, words: Sequence[int], bit_offset: int, fast: bool
+    ) -> tuple[list[CodecInstr], int]:
+        """The coder-agnostic symbol loop behind the backends."""
         reader = BitReader(words, bit_offset)
         decoders = self.decoders(fast)
         opcode_decode = decoders[FieldKind.OPCODE]
@@ -544,3 +597,47 @@ class ProgramCodec:
             set_attr(item, "fields", tuple(values_out))
             items.append(item)
         return items, wi * 32 - navail - bit_offset
+
+
+# -- decode backends ---------------------------------------------------------
+#
+# Region decode mechanics are selected by name through the same
+# Registry machinery as the codec variants: "reference" is the paper's
+# bit-at-a-time loop, "table" the first-level-table loop above,
+# "vector" the numpy lane-parallel batch machine.  All three produce
+# identical items and bit counts; a backend that cannot express a
+# stream (vector with the dictionary coder, or without numpy) degrades
+# to the next one down rather than erroring.
+
+
+def _backend_reference(
+    codec: ProgramCodec, words: Sequence[int], bit_offset: int
+) -> tuple[list[CodecInstr], int]:
+    return codec._decode_region_generic(words, bit_offset, fast=False)
+
+
+def _backend_table(
+    codec: ProgramCodec, words: Sequence[int], bit_offset: int
+) -> tuple[list[CodecInstr], int]:
+    if codec.coder == "huffman":
+        return codec._decode_region_fast(words, bit_offset)
+    return codec._decode_region_generic(words, bit_offset, fast=True)
+
+
+def _backend_vector(
+    codec: ProgramCodec, words: Sequence[int], bit_offset: int
+) -> tuple[list[CodecInstr], int]:
+    from repro.compress import vector
+
+    if vector.HAVE_NUMPY and codec.coder == "huffman":
+        return vector.decode_region(codec, words, bit_offset)
+    return _backend_table(codec, words, bit_offset)
+
+
+#: name -> f(codec, words, bit_offset) -> (items, bits).
+DECODE_BACKENDS: "Registry[Callable[..., tuple[list[CodecInstr], int]]]" = (
+    Registry("decode backend")
+)
+DECODE_BACKENDS.register("reference", _backend_reference)
+DECODE_BACKENDS.register("table", _backend_table)
+DECODE_BACKENDS.register("vector", _backend_vector)

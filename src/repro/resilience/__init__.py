@@ -21,6 +21,13 @@ from repro.resilience.supervisor import (
     SupervisorConfig,
     Task,
 )
+from repro.resilience.workerpool import (
+    PoolLease,
+    PoolManager,
+    get_pool_manager,
+    pool_fingerprint,
+    reset_pool_manager,
+)
 
 __all__ = [
     "CacheStats",
@@ -34,4 +41,9 @@ __all__ = [
     "Supervisor",
     "SupervisorConfig",
     "Task",
+    "PoolLease",
+    "PoolManager",
+    "get_pool_manager",
+    "pool_fingerprint",
+    "reset_pool_manager",
 ]

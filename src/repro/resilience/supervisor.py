@@ -31,14 +31,22 @@ give:
 
 Tasks preempted by a neighbour's timeout or crash are requeued with a
 ``preempted`` event that does **not** consume a retry attempt.
+
+Executors are leased from the process-wide
+:class:`~repro.resilience.workerpool.PoolManager` rather than built
+per run: with ``REPRO_POOL_PERSIST`` on (the default) a healthy pool
+is parked when the run finishes and the next supervised run reuses its
+warm workers — already-imported modules, built codec tables, memoized
+stage bundles — instead of re-spawning.  Broken or hung pools are
+discarded through the manager and replaced fresh, so the failure
+contract above is unchanged.
 """
 
 from __future__ import annotations
 
-import os
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
@@ -48,6 +56,7 @@ from repro.errors import BreakerOpen, CellFailure, SquashError
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.resilience.policy import CircuitBreaker, RetryPolicy
+from repro.resilience.workerpool import PoolLease, get_pool_manager
 
 __all__ = [
     "Task",
@@ -209,7 +218,7 @@ class Supervisor:
     def _workers(self) -> int:
         if self.config.workers:
             return max(1, self.config.workers)
-        return max(1, os.cpu_count() or 1)
+        return _settings.effective_bench_workers()
 
     # -- shared bookkeeping --------------------------------------------------
 
@@ -359,9 +368,11 @@ class Supervisor:
     ) -> None:
         queue: deque[_TaskState] = deque(states)
         inflight: dict[Future, tuple[_TaskState, float]] = {}
-        pool = ProcessPoolExecutor(
-            max_workers=workers, initializer=_mark_pool_worker
-        )
+        manager = get_pool_manager()
+        lease = manager.acquire(workers, initializer=_mark_pool_worker)
+        pool = lease.pool
+        if self._tracer.enabled:
+            self._tracer.emit("pool.lease", "sweep", warm=lease.reused)
         deadline = self.config.deadline
         try:
             while queue or inflight:
@@ -430,7 +441,8 @@ class Supervisor:
                         ):
                             queue.append(state)
                     inflight.clear()
-                    pool = self._replace_pool(pool, report, kill=False)
+                    lease = self._replace_pool(lease, report, kill=False)
+                    pool = lease.pool
                     continue
 
                 # Deadline audit: expired tasks time out; the hung
@@ -479,33 +491,27 @@ class Supervisor:
                         )
                         queue.append(state)
                     inflight.clear()
-                    pool = self._replace_pool(pool, report, kill=True)
-        finally:
-            self._stop_pool(pool, kill=True)
+                    lease = self._replace_pool(lease, report, kill=True)
+                    pool = lease.pool
+        except BaseException:
+            # An escaping exception (KeyboardInterrupt above all) may
+            # leave futures in flight; a pool mid-task must never be
+            # parked warm.
+            manager.discard(lease, kill=True)
+            raise
+        else:
+            manager.release(lease)
 
     def _replace_pool(
-        self, pool: ProcessPoolExecutor, report: SupervisionReport, kill: bool
-    ) -> ProcessPoolExecutor:
-        self._stop_pool(pool, kill=kill)
+        self, lease: PoolLease, report: SupervisionReport, kill: bool
+    ) -> PoolLease:
+        """Discard a broken/hung leased pool and lease a fresh one."""
+        manager = get_pool_manager()
+        manager.discard(lease, kill=kill)
         report.pool_rebuilds += 1
         _METRICS.inc("supervisor.pool_rebuilds")
         if self._tracer.enabled:
             self._tracer.emit("pool.rebuild", "sweep", killed=kill)
-        return ProcessPoolExecutor(
-            max_workers=self._workers(), initializer=_mark_pool_worker
+        return manager.acquire(
+            self._workers(), initializer=_mark_pool_worker
         )
-
-    @staticmethod
-    def _stop_pool(pool: ProcessPoolExecutor, kill: bool) -> None:
-        if kill:
-            # Hung workers never return; SIGTERM them so the sweep does
-            # not leak a process per timeout.  ``_processes`` is a
-            # private-but-stable CPython attribute; degrade gracefully
-            # without it.
-            procs = getattr(pool, "_processes", None) or {}
-            for proc in list(procs.values()):
-                try:
-                    proc.terminate()
-                except Exception:
-                    pass
-        pool.shutdown(wait=False, cancel_futures=True)

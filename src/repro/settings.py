@@ -33,12 +33,19 @@ from dataclasses import dataclass, fields, replace
 from typing import Any, Callable, Iterator
 
 __all__ = [
+    "DECODE_BACKENDS",
     "ENV_KNOBS",
     "Settings",
     "current",
+    "effective_bench_workers",
     "from_env",
     "use_settings",
 ]
+
+#: Safety clamp on the worker-count default: a huge ``os.cpu_count()``
+#: (think CI runners reporting container limits wrong) must not fork a
+#: process storm.
+MAX_DEFAULT_WORKERS = 64
 
 #: Spellings treated as false by every boolean knob (historical rule).
 _FALSY = ("0", "", "no", "off")
@@ -79,6 +86,20 @@ def _parse_watchdog(raw: str) -> int:
 
 def _parse_str(raw: str) -> str:
     return raw
+
+
+#: Decode backend names accepted by ``REPRO_DECODE_BACKEND``.  The
+#: empty string means "derive from the legacy ``fast_decode`` flag"
+#: (True -> table, False -> reference) so existing configurations keep
+#: their behaviour.
+DECODE_BACKENDS = ("", "reference", "table", "vector")
+
+
+def _parse_backend(raw: str) -> str:
+    value = raw.lower()
+    if value not in DECODE_BACKENDS:
+        raise ValueError(f"unknown decode backend {raw!r}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -128,6 +149,13 @@ class Settings:
     #: Table-driven canonical Huffman decode path
     #: (``REPRO_FAST_DECODE``).
     fast_decode: bool = True
+    #: Region decode backend (``REPRO_DECODE_BACKEND``): ``reference``,
+    #: ``table``, ``vector``, or "" to derive from ``fast_decode``.
+    decode_backend: str = ""
+    #: Keep supervised worker pools alive across sweeps
+    #: (``REPRO_POOL_PERSIST``), so codec tables and stage bundles are
+    #: built once per host instead of once per run.
+    pool_persist: bool = True
 
     # -- observability ------------------------------------------------------
     #: Enable the structured trace layer (``REPRO_TRACE``).
@@ -157,6 +185,8 @@ ENV_KNOBS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "vm_watchdog": ("REPRO_VM_WATCHDOG", _parse_watchdog),
     "region_cache": ("REPRO_REGION_CACHE", _parse_bool),
     "fast_decode": ("REPRO_FAST_DECODE", _parse_bool),
+    "decode_backend": ("REPRO_DECODE_BACKEND", _parse_backend),
+    "pool_persist": ("REPRO_POOL_PERSIST", _parse_bool),
     "trace": ("REPRO_TRACE", _parse_bool),
     "trace_buffer": ("REPRO_TRACE_BUFFER", _parse_int),
 }
@@ -203,6 +233,21 @@ def current() -> Settings:
             merged.update(layer)
         settings = replace(settings, **merged)
     return settings
+
+
+def effective_bench_workers(settings: Settings | None = None) -> int:
+    """The worker count parallel paths actually use.
+
+    ``REPRO_BENCH_WORKERS`` (already clamped to >= 1 by its parser)
+    wins when set; otherwise the machine's CPU count, clamped to
+    [1, :data:`MAX_DEFAULT_WORKERS`], so parallel paths use the
+    hardware by default instead of a hardcoded fallback.
+    """
+    if settings is None:
+        settings = current()
+    if settings.bench_workers is not None:
+        return settings.bench_workers
+    return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
 
 
 @contextmanager

@@ -26,6 +26,8 @@ def work(payload: dict):
     op = payload["op"]
     if op == "ok":
         return payload.get("value")
+    if op == "pid":
+        return os.getpid()
     if op == "fail_until":
         if _bump(payload["path"]) < payload["n"]:
             raise RuntimeError(f"transient failure of {payload['path']}")

@@ -1,0 +1,66 @@
+"""The benchmark never launders a serial run into a parallel claim.
+
+BENCH_decode.json v1 recorded ``os.cpu_count()`` as the fig7 sweep's
+worker count regardless of what the sweep actually used.  v2 records
+the resolved worker count and refuses the ``parallel`` label for a
+one-worker run; these tests pin that provenance contract plus the
+digest/percentile helpers behind the decoder section.
+"""
+
+from __future__ import annotations
+
+from benchmarks.run_bench import (
+    BACKENDS,
+    BENCH_VERSION,
+    _digest_results,
+    _percentile,
+    sweep_mode_label,
+)
+from repro.compress.streams import CodecInstr
+
+
+def test_version_is_two():
+    assert BENCH_VERSION == 2
+
+
+def test_all_registered_backends_are_measured():
+    assert BACKENDS == ("reference", "table", "vector")
+
+
+class TestModeLabel:
+    def test_one_worker_is_never_labelled_parallel(self):
+        assert sweep_mode_label(1) == "single-worker"
+
+    def test_multi_worker_is_parallel(self):
+        assert sweep_mode_label(2) == "parallel"
+        assert sweep_mode_label(16) == "parallel"
+
+
+class TestDigest:
+    def _results(self):
+        items = [
+            CodecInstr(opcode=0x08, fields=(1, 2, 3)),
+            CodecInstr(opcode=0x10, fields=(4, 5)),
+        ]
+        return [(items, 57)]
+
+    def test_digest_is_deterministic(self):
+        assert _digest_results(self._results()) == _digest_results(
+            self._results()
+        )
+
+    def test_digest_sees_items_and_bits(self):
+        base = _digest_results(self._results())
+        other_bits = [(self._results()[0][0], 58)]
+        assert _digest_results(other_bits) != base
+        other_items = [
+            ([CodecInstr(opcode=0x08, fields=(1, 2, 4))], 57)
+        ]
+        assert _digest_results(other_items) != base
+
+
+def test_percentile_bounds():
+    samples = [float(i) for i in range(100)]
+    assert _percentile(samples, 0.5) == 50.0
+    assert _percentile(samples, 0.99) == 99.0
+    assert _percentile([3.0], 0.99) == 3.0

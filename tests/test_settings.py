@@ -169,3 +169,46 @@ class TestConsumers:
         with settings.use_settings(fast_decode=False):
             assert fast_decode_default() is False
         assert fast_decode_default() is True
+
+
+class TestEffectiveBenchWorkers:
+    def test_explicit_setting_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "6")
+        assert settings.effective_bench_workers() == 6
+
+    def test_default_is_the_cpu_count_clamped(self, monkeypatch):
+        import os
+
+        expected = max(
+            1, min(os.cpu_count() or 1, settings.MAX_DEFAULT_WORKERS)
+        )
+        assert settings.effective_bench_workers() == expected
+
+    def test_invalid_env_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "many")
+        resolved = settings.current()
+        assert "REPRO_BENCH_WORKERS" in resolved.invalid
+        assert settings.effective_bench_workers(resolved) == max(
+            1, min(os.cpu_count() or 1, settings.MAX_DEFAULT_WORKERS)
+        )
+
+    def test_harness_workers_warn_on_invalid_env(self, monkeypatch):
+        from repro.analysis.parallel import _workers
+
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_BENCH_WORKERS"):
+            _workers()
+
+
+class TestNewKnobs:
+    def test_decode_backend_default_and_env(self, monkeypatch):
+        assert settings.current().decode_backend == ""
+        monkeypatch.setenv("REPRO_DECODE_BACKEND", "vector")
+        assert settings.current().decode_backend == "vector"
+
+    def test_pool_persist_default_and_env(self, monkeypatch):
+        assert settings.current().pool_persist is True
+        monkeypatch.setenv("REPRO_POOL_PERSIST", "0")
+        assert settings.current().pool_persist is False
