@@ -65,6 +65,12 @@ _EXPORTS = {
     "RunResult": ("repro.vm.machine", "RunResult"),
     "collect_profile": ("repro.vm.profiler", "collect_profile"),
     "Profile": ("repro.vm.profiler", "Profile"),
+    "ArtifactStore": ("repro.store", "ArtifactStore"),
+    "get_store": ("repro.store", "get_store"),
+    "StoreDegraded": ("repro.errors", "StoreDegraded"),
+    "store_stats": ("repro.api", "store_stats"),
+    "store_gc": ("repro.api", "store_gc"),
+    "store_verify": ("repro.api", "store_verify"),
     "MEDIABENCH": ("repro.workloads.mediabench", "MEDIABENCH"),
     "mediabench_program": ("repro.workloads.mediabench", "mediabench_program"),
     "mediabench_spec": ("repro.workloads.mediabench", "mediabench_spec"),

@@ -56,6 +56,7 @@ from repro.analysis.experiments import (
 from repro import settings as _settings
 from repro.analysis.stats import geometric_mean
 from repro.core.pipeline import SquashConfig
+from repro.errors import StoreDegraded
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.pipeline.artifacts import canonical
@@ -64,9 +65,8 @@ from repro.resilience import (
     Supervisor,
     SupervisorConfig,
     Task,
-    read_entry,
-    write_entry,
 )
+from repro.store import get_store
 from repro.workloads.mediabench import MEDIABENCH
 
 __all__ = [
@@ -269,8 +269,7 @@ def _publish_rollup(
 def cell_path(
     root: pathlib.Path, cell: tuple[str, str, float, SquashConfig]
 ) -> pathlib.Path:
-    digest = _cell_digest(*cell)
-    return root / digest[:2] / f"{digest}.json"
+    return get_store(root).ref_path("cell", _cell_digest(*cell))
 
 
 def _supervised_cell(cell: tuple[str, str, float, SquashConfig]) -> dict:
@@ -342,16 +341,24 @@ def compute_cells(
     results: dict[tuple[str, str, float, SquashConfig], dict] = {}
     misses: list[tuple[str, str, float, SquashConfig]] = []
     root = cache_dir()
-    paths: dict[tuple[str, str, float, SquashConfig], pathlib.Path] = {}
+    store = get_store(root)
+    digests: dict[tuple[str, str, float, SquashConfig], str] = {}
     tracer = get_tracer()
     unique = list(dict.fromkeys(cells))
     hits: set = set()
 
     for cell in unique:
-        path = cell_path(root, cell)
-        paths[cell] = path
+        digest = _cell_digest(*cell)
+        digests[cell] = digest
         if cache:
-            entry = read_entry(path, REQUIRED_KEYS.get(cell[0], ()), stats)
+            try:
+                entry = store.get(
+                    "cell", digest, REQUIRED_KEYS.get(cell[0], ()), stats
+                )
+            except StoreDegraded:
+                # Unusable store (breaker open): recompute every cell
+                # without caching rather than fail the sweep.
+                entry = None
             if entry is not None:
                 results[cell] = entry
                 hits.add(cell)
@@ -365,12 +372,13 @@ def compute_cells(
             results[task.key] = result
             if cache:
                 try:
-                    write_entry(paths[task.key], result)
-                except OSError:
-                    # A full or read-only disk must not lose the
-                    # computed value — it just will not be cached.
+                    if store.put("cell", digests[task.key], result):
+                        stats.writes += 1
+                except (OSError, StoreDegraded):
+                    # A full, read-only, or degraded store must not
+                    # lose the computed value — it just will not be
+                    # cached.
                     return
-                stats.writes += 1
 
         cfg = config or SupervisorConfig.from_env()
         if workers is not None:

@@ -31,16 +31,18 @@ import pathlib
 from dataclasses import dataclass
 
 from repro import settings as _settings
+from repro.errors import StoreDegraded
 from repro.obs.metrics import get_registry
 from repro.program.program import Program
 from repro.program.serialize import program_from_dict, program_to_dict
-from repro.resilience import read_entry, write_entry
+from repro.store import get_store
 from repro.vm.profiler import Profile
 
 __all__ = [
     "STAGE_COUNTERS",
     "STAGE_SALT",
     "StageBundle",
+    "bundle_digest",
     "bundle_path",
     "load_bundle",
     "reset_counters",
@@ -108,13 +110,17 @@ class StageBundle:
     base_exit_code: int
 
 
-def bundle_path(root: pathlib.Path, name: str, scale: float) -> pathlib.Path:
-    """Content-addressed location of the (name, scale) bundle."""
+def bundle_digest(name: str, scale: float) -> str:
+    """Content fingerprint keying the (name, scale) bundle."""
     payload = json.dumps(
         {"name": name, "scale": scale, "salt": STAGE_SALT}, sort_keys=True
     )
-    digest = hashlib.sha256(payload.encode()).hexdigest()
-    return root / "stages" / digest[:2] / f"{digest}.json"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def bundle_path(root: pathlib.Path, name: str, scale: float) -> pathlib.Path:
+    """Content-addressed location of the (name, scale) bundle."""
+    return get_store(root).ref_path("stage", bundle_digest(name, scale))
 
 
 def _to_entry(bundle: StageBundle) -> dict:
@@ -180,7 +186,12 @@ def load_bundle(
     if memo is not None:
         _count("memo")
         return memo
-    entry = read_entry(bundle_path(root, name, scale), BUNDLE_KEYS)
+    try:
+        entry = get_store(root).get(
+            "stage", bundle_digest(name, scale), BUNDLE_KEYS
+        )
+    except StoreDegraded:
+        entry = None
     if entry is None:
         return None
     try:
@@ -207,7 +218,9 @@ def warm_bundle(
     _MEMO[(name, scale)] = bundle
     if cache:
         try:
-            write_entry(bundle_path(root, name, scale), _to_entry(bundle))
-        except OSError:
+            get_store(root).put(
+                "stage", bundle_digest(name, scale), _to_entry(bundle)
+            )
+        except (OSError, StoreDegraded):
             pass
     return bundle

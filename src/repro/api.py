@@ -48,6 +48,9 @@ __all__ = [
     "run",
     "squash",
     "squash_benchmark",
+    "store_gc",
+    "store_stats",
+    "store_verify",
     "sweep",
     "verify",
 ]
@@ -196,3 +199,31 @@ def verify(prefix, deep: bool = True):
     from repro.core.verify import verify_squashed
 
     return verify_squashed(prefix, deep=deep)
+
+
+# -- artifact store -----------------------------------------------------------
+
+
+def _store(root=None):
+    from repro.analysis.parallel import cache_dir
+    from repro.store import get_store
+
+    return get_store(root if root is not None else cache_dir())
+
+
+def store_stats(root=None) -> dict:
+    """Point-in-time statistics of the unified artifact store at
+    *root* (default: the resolved cache dir)."""
+    return _store(root).stats()
+
+
+def store_gc(root=None) -> dict:
+    """Collect crash leftovers (stale temps, orphan objects, corrupt
+    refs), refresh the manifest snapshot, and enforce the quota."""
+    return _store(root).gc()
+
+
+def store_verify(root=None) -> dict:
+    """Read-only health check of every store ref, object, and the
+    manifest snapshot; nothing is modified."""
+    return _store(root).verify()

@@ -15,6 +15,10 @@ Usage::
     python -m repro metrics gsm
     python -m repro faultsweep --names adpcm --faults 500 --seed 1
     python -m repro chaossweep --names adpcm --faults 60 --seed 1
+    python -m repro store stats
+    python -m repro store gc
+    python -m repro store verify
+    python -m repro storechaos --names adpcm --scale 0.2 --seed 1
     python -m repro all
 
 Every command goes through the stable facade (:mod:`repro.api`); the
@@ -368,6 +372,71 @@ def _cmd_chaossweep(args) -> int:
     return code
 
 
+def _cmd_store(args) -> int:
+    """Inspect or maintain the unified artifact store
+    (``repro store stats|gc|verify``)."""
+    import json
+
+    action = args.prefix or "stats"
+    if action == "stats":
+        stats = api.store_stats()
+        if args.json:
+            print(json.dumps(stats, sort_keys=True))
+            return 0
+        print(f"artifact store at {stats['root']}:")
+        print(f"  refs: {stats['refs']}  "
+              + "  ".join(f"{ns} {n}" for ns, n in
+                          stats["per_namespace"].items()))
+        print(f"  objects: {stats['objects']}")
+        quota = stats["quota_bytes"]
+        print(f"  usage: {stats['usage_bytes']}B"
+              + (f" / {quota}B quota" if quota else " (no quota)"))
+        print(f"  policy: {stats['policy']}  "
+              f"breaker: {'OPEN' if stats['breaker_open'] else 'closed'}")
+        return 0
+    if action == "gc":
+        report = api.store_gc()
+        print("store gc: "
+              f"{report['stale_temps']} stale temps, "
+              f"{report['orphan_objects']} orphan objects, "
+              f"{report['corrupt_refs']} corrupt refs removed, "
+              f"{report['evicted']}B evicted to quota")
+        return 0
+    if action == "verify":
+        report = api.store_verify()
+        if args.json:
+            print(json.dumps(report, sort_keys=True))
+        else:
+            corrupt = sum(report["corrupt"].values())
+            print(f"store verify: {report['ok']}/{report['refs']} refs ok"
+                  + (f", corrupt by reason {report['corrupt']}"
+                     if corrupt else "")
+                  + f"; {report['objects']} objects "
+                  f"({report['orphan_objects']} orphaned, "
+                  f"{report['dedup_refs']} deduplicated refs); "
+                  f"manifest {report['manifest']}; "
+                  f"usage {report['usage_bytes']}B")
+        return 1 if (sum(report["corrupt"].values())
+                     or report["manifest"] == "corrupt") else 0
+    print(f"store: unknown action {action!r} (stats|gc|verify)")
+    return 2
+
+
+def _cmd_storechaos(args) -> int:
+    from repro.faultinject import run_store_chaos
+
+    code = 0
+    for name in args.names:
+        report = run_store_chaos(
+            name, scale=args.scale, seed=args.seed,
+            quota_bytes=args.quota,
+        )
+        print(report.render())
+        if not report.ok:
+            code = 1
+    return code
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig3": _cmd_fig3,
@@ -385,6 +454,8 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "faultsweep": _cmd_faultsweep,
     "chaossweep": _cmd_chaossweep,
+    "store": _cmd_store,
+    "storechaos": _cmd_storechaos,
 }
 
 
@@ -452,6 +523,11 @@ def main(argv: list[str] | None = None) -> int:
         help="worker pool size (chaossweep command; default: CPU count)",
     )
     parser.add_argument(
+        "--quota", type=int, default=32 * 1024,
+        help="store quota in bytes for the storechaos command "
+        "(default 32768)",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="PATH",
         help="write the Chrome trace-event JSON to PATH "
         "(trace command; default: stdout)",
@@ -480,7 +556,7 @@ def main(argv: list[str] | None = None) -> int:
                 # Sub-commands needing extra arguments don't batch.
                 if name in (
                     "squash", "stages", "verify", "trace", "metrics",
-                    "faultsweep", "chaossweep",
+                    "faultsweep", "chaossweep", "store", "storechaos",
                 ):
                     continue
                 command(args)

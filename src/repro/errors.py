@@ -21,7 +21,8 @@ The taxonomy::
     ├── StubAreaOverflow        restore-stub area exhausted
     ├── WatchdogExpired         VM watchdog budget exhausted (hang guard)
     ├── CellFailure             an experiment cell lost to crash/timeout
-    └── BreakerOpen             circuit breaker refused a cell class
+    ├── BreakerOpen             circuit breaker refused a cell class
+    └── StoreDegraded           artifact store unusable; recompute instead
 
 ``CorruptBlobError``/``CodecTableError`` double as :class:`ValueError`
 and ``TruncatedStreamError`` as :class:`EOFError` so long-standing
@@ -49,6 +50,7 @@ __all__ = [
     "WatchdogExpired",
     "CellFailure",
     "BreakerOpen",
+    "StoreDegraded",
 ]
 
 
@@ -201,5 +203,26 @@ class BreakerOpen(SquashError):
         if cls and cls not in message:
             message = f"{message} [class {cls}]" if message else (
                 f"breaker open for class {cls}"
+            )
+        super().__init__(message, **kwargs)
+
+
+class StoreDegraded(SquashError):
+    """The artifact store cannot serve this operation; recompute.
+
+    Raised by :mod:`repro.store` when writes keep failing after bounded
+    retries (dead or full disk), or when the store breaker is open and
+    refusing to hammer it further.  ``reason`` carries the terminal
+    failure kind (an errno name like ``enospc``/``eacces``, or
+    ``breaker-open``).  The signal is *advisory*: callers catch it,
+    skip the cache, and recompute — a degraded store slows a sweep
+    down, it never fails one.
+    """
+
+    def __init__(self, message: str = "", *, reason: str = "", **kwargs):
+        self.reason = reason
+        if reason and reason not in message:
+            message = f"{message} [reason {reason}]" if message else (
+                f"store degraded: {reason}"
             )
         super().__init__(message, **kwargs)

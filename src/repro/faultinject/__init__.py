@@ -19,15 +19,22 @@ converge to rows identical to a fault-free serial run.
 from repro.faultinject.chaos import (
     CACHE_FAULT_KINDS,
     PROCESS_FAULT_KINDS,
+    STORE_FAULT_KINDS,
     ChaosSpec,
+    StoreChaosSpec,
     corrupt_entry,
     maybe_inject,
+    maybe_store_fault,
     plan_process_chaos,
 )
 from repro.faultinject.chaossweep import (
     ChaosSweepReport,
     chaos_cells,
     run_chaos_sweep,
+)
+from repro.faultinject.storechaos import (
+    StoreChaosReport,
+    run_store_chaos,
 )
 from repro.faultinject.inject import (
     FAULT_KINDS,
@@ -53,11 +60,16 @@ __all__ = [
     "sweep_program",
     "PROCESS_FAULT_KINDS",
     "CACHE_FAULT_KINDS",
+    "STORE_FAULT_KINDS",
     "ChaosSpec",
+    "StoreChaosSpec",
     "plan_process_chaos",
     "maybe_inject",
+    "maybe_store_fault",
     "corrupt_entry",
     "ChaosSweepReport",
     "chaos_cells",
     "run_chaos_sweep",
+    "StoreChaosReport",
+    "run_store_chaos",
 ]

@@ -34,6 +34,19 @@ Cache faults (:func:`corrupt_entry`) are applied by the driver to
 on-disk entries: truncation (a torn write), garbage bytes, a payload
 bit flip under an intact seal, and a resealed entry missing required
 keys.  Each must be *detected* by the cache loader and recomputed.
+
+Store faults (``REPRO_STORE_CHAOS`` / :func:`maybe_store_fault`)
+perturb the unified artifact store from the *inside*: ``enospc``
+raises ``OSError(ENOSPC)`` from the store's object-write path (after
+the temp file is created, before it is published — a full disk at the
+worst moment), and ``kill_evict`` delivers ``os._exit(137)`` in the
+middle of an eviction pass, right after a victim ref is unlinked and
+before its object is collected — the maximally awkward crash point,
+leaving both an orphan object and a held store lock behind.  Budgets
+are consumed through the same ``O_EXCL`` marker-file discipline as
+process faults, so each injected fault fires exactly once across any
+number of workers.  Manifest corruption needs no hook: the driver
+corrupts the sealed snapshot directly with :func:`corrupt_entry`.
 """
 
 from __future__ import annotations
@@ -49,20 +62,28 @@ from repro.resilience.cache import seal_text
 __all__ = [
     "PROCESS_FAULT_KINDS",
     "CACHE_FAULT_KINDS",
+    "STORE_FAULT_KINDS",
     "ENV_SPEC",
+    "ENV_STORE_SPEC",
     "ChaosSpec",
     "ChaosHang",
     "ChaosKill",
+    "StoreChaosSpec",
     "plan_process_chaos",
     "maybe_inject",
+    "maybe_store_fault",
     "fired_counts",
     "corrupt_entry",
 ]
 
 ENV_SPEC = "REPRO_CHAOS_SPEC"
+ENV_STORE_SPEC = "REPRO_STORE_CHAOS"
 
 PROCESS_FAULT_KINDS = ("kill", "hang", "oom")
 CACHE_FAULT_KINDS = ("truncate", "garbage", "bitflip", "missing-keys")
+#: Store-internal fault kinds: ``enospc`` (object write fails with a
+#: full disk) and ``kill_evict`` (SIGKILL-equivalent death mid-evict).
+STORE_FAULT_KINDS = ("enospc", "kill_evict")
 
 
 class ChaosHang(RuntimeError):
@@ -250,6 +271,100 @@ def maybe_inject(digest: str) -> None:
     if kind == "oom":
         raise MemoryError(f"chaos oom (cell {digest[:12]}, attempt {index})")
     raise ValueError(f"unknown chaos fault kind {kind!r}")
+
+
+@dataclass
+class StoreChaosSpec:
+    """Budgeted faults delivered from inside the artifact store.
+
+    Travels to workers via ``REPRO_STORE_CHAOS``; budgets are consumed
+    exactly once each through ``O_EXCL`` markers in ``counter_dir``.
+    """
+
+    #: How many object writes fail with ``OSError(ENOSPC)``.
+    enospc: int = 0
+    #: How many eviction passes die (``os._exit(137)``) mid-victim.
+    kill_evict: int = 0
+    #: Directory for the exactly-once claim markers.
+    counter_dir: str = ""
+    #: Allow ``kill_evict`` to take down a non-pool process.  Chaos
+    #: harnesses that wrap the store in a disposable subprocess set
+    #: this; without it an inline kill degrades to :class:`ChaosKill`
+    #: so armed chaos can never take the driver down.
+    inline_kill_ok: bool = False
+
+    def to_env(self) -> str:
+        return json.dumps(
+            {
+                "enospc": self.enospc,
+                "kill_evict": self.kill_evict,
+                "counter_dir": self.counter_dir,
+                "inline_kill_ok": self.inline_kill_ok,
+            }
+        )
+
+    @classmethod
+    def from_env(cls, raw: str) -> "StoreChaosSpec":
+        obj = json.loads(raw)
+        return cls(
+            enospc=int(obj.get("enospc", 0)),
+            kill_evict=int(obj.get("kill_evict", 0)),
+            counter_dir=str(obj.get("counter_dir", "")),
+            inline_kill_ok=bool(obj.get("inline_kill_ok", False)),
+        )
+
+
+_STORE_SPEC_CACHE: dict[str, StoreChaosSpec] = {}
+
+
+def _active_store_spec() -> StoreChaosSpec | None:
+    raw = os.environ.get(ENV_STORE_SPEC, "")
+    if not raw:
+        return None
+    spec = _STORE_SPEC_CACHE.get(raw)
+    if spec is None:
+        try:
+            spec = StoreChaosSpec.from_env(raw)
+        except (ValueError, TypeError):
+            return None
+        _STORE_SPEC_CACHE[raw] = spec
+    return spec
+
+
+def maybe_store_fault(point: str) -> None:
+    """Store-side hook: fire an armed store fault at *point*.
+
+    Called from inside :mod:`repro.store` at its two most fragile
+    moments — ``write`` (object bytes about to be published) and
+    ``evict`` (a victim ref just unlinked, its object not yet
+    collected).  A no-op unless ``REPRO_STORE_CHAOS`` is armed with
+    budget left for the point; each budgeted fault fires exactly once
+    across all processes sharing the counter dir.
+    """
+    spec = _active_store_spec()
+    if spec is None or not spec.counter_dir:
+        return
+    counter_dir = pathlib.Path(spec.counter_dir)
+    if point == "write" and spec.enospc > 0:
+        claimed = _claim_next_fault(
+            counter_dir, "store-write", ["enospc"] * spec.enospc
+        )
+        if claimed is not None:
+            import errno
+
+            raise OSError(errno.ENOSPC, "chaos: injected ENOSPC")
+    elif point == "evict" and spec.kill_evict > 0:
+        claimed = _claim_next_fault(
+            counter_dir, "store-evict", ["kill_evict"] * spec.kill_evict
+        )
+        if claimed is not None:
+            from repro.resilience.supervisor import in_pool_worker
+
+            if in_pool_worker() or spec.inline_kill_ok:
+                os._exit(137)
+            raise ChaosKill(
+                "chaos kill_evict fired inline; degraded to an error"
+            )
 
 
 def corrupt_entry(path: pathlib.Path, mode: str, rng: random.Random) -> None:

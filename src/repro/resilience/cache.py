@@ -61,7 +61,11 @@ def _read_entry_text(path: pathlib.Path) -> str:
     """The entry's text, mmap-backed for large files."""
     with open(path, "rb") as handle:
         size = os.fstat(handle.fileno()).st_size
-        if size >= MMAP_MIN_BYTES:
+        # Zero-length files (a crash between create and write, or a
+        # racing truncation) cannot be mmapped — mmap(fd, 0) means
+        # "whole file" and raises on an empty one — so they must take
+        # the plain-read path regardless of the threshold.
+        if size > 0 and size >= MMAP_MIN_BYTES:
             try:
                 with mmap.mmap(
                     handle.fileno(), 0, access=mmap.ACCESS_READ

@@ -387,7 +387,25 @@ class Supervisor:
                     if state.ready_at > now:
                         requeue.append(state)
                         continue
-                    future = pool.submit(self.fn, state.task.payload)
+                    try:
+                        future = pool.submit(self.fn, state.task.payload)
+                    except BrokenProcessPool:
+                        # A worker death surfaces synchronously when it
+                        # lands while later tasks are still being
+                        # submitted.  This task never ran, so it requeues
+                        # unscathed; in-flight neighbours are doomed and
+                        # written off as crash events, exactly as in the
+                        # asynchronous branch below.
+                        requeue.append(state)
+                        for victim, _expiry in inflight.values():
+                            if self._record_failure(
+                                victim, "crash", breaker, report, exc=None
+                            ):
+                                requeue.append(victim)
+                        inflight.clear()
+                        lease = self._replace_pool(lease, report, kill=False)
+                        pool = lease.pool
+                        break
                     report.executions += 1
                     _METRICS.inc("supervisor.executions")
                     expiry = now + deadline if deadline else float("inf")

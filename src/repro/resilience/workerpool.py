@@ -39,6 +39,7 @@ from __future__ import annotations
 import atexit
 import os
 import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
@@ -149,7 +150,16 @@ class PoolManager:
         for the same worker count all mean the pool is shut down
         instead.
         """
-        persist = _settings.current().pool_persist
+        resolved = _settings.current()
+        if "REPRO_POOL_PERSIST" in resolved.invalid:
+            warnings.warn(
+                "REPRO_POOL_PERSIST is not a boolean "
+                "(use 1/0/yes/no/on/off/true/false); "
+                "keeping the default (persist)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        persist = resolved.pool_persist
         if persist and not _pool_broken(lease.pool):
             with self._lock:
                 if lease.workers not in self._parked:

@@ -55,6 +55,21 @@ def _parse_bool(raw: str) -> bool:
     return raw.lower() not in _FALSY
 
 
+#: Spellings accepted by strict boolean knobs (new knobs only; the
+#: historical ones keep the permissive anything-not-falsy rule).
+_TRUTHY_STRICT = ("1", "yes", "on", "true")
+_FALSY_STRICT = _FALSY + ("false",)
+
+
+def _parse_strict_bool(raw: str) -> bool:
+    value = raw.lower()
+    if value in _TRUTHY_STRICT:
+        return True
+    if value in _FALSY_STRICT:
+        return False
+    raise ValueError(f"not a boolean: {raw!r}")
+
+
 def _parse_int(raw: str) -> int:
     return int(raw)
 
@@ -86,6 +101,17 @@ def _parse_watchdog(raw: str) -> int:
 
 def _parse_str(raw: str) -> str:
     return raw
+
+
+def _parse_nonneg_int(raw: str) -> int:
+    return max(0, int(raw))
+
+
+def _parse_quota(raw: str) -> int | None:
+    value = int(raw)
+    if value < 0:
+        raise ValueError(f"negative quota: {raw!r}")
+    return value if value > 0 else None
 
 
 #: Decode backend names accepted by ``REPRO_DECODE_BACKEND``.  The
@@ -157,6 +183,28 @@ class Settings:
     #: built once per host instead of once per run.
     pool_persist: bool = True
 
+    # -- artifact store -----------------------------------------------------
+    #: Total on-disk budget for the unified artifact store, bytes
+    #: (``REPRO_STORE_QUOTA_BYTES``; None/0 disables quota
+    #: enforcement entirely — no lock, no eviction).
+    store_quota_bytes: int | None = None
+    #: Eviction policy name from the store policy registry
+    #: (``REPRO_STORE_POLICY``; unknown names fall back to LRU with a
+    #: warning at the eviction site).
+    store_policy: str = "lru"
+    #: Retry attempts for transient store write failures
+    #: (``REPRO_STORE_RETRIES``; 0 disables retrying).
+    store_retries: int = 2
+    #: Base backoff between store write retries, seconds
+    #: (``REPRO_STORE_BACKOFF``).
+    store_backoff: float = 0.05
+    #: Consecutive store failures that open the degradation breaker
+    #: (``REPRO_STORE_BREAKER_THRESHOLD``; 0 disables the breaker).
+    store_breaker_threshold: int = 5
+    #: Seconds the open breaker short-circuits store operations before
+    #: probing the disk again (``REPRO_STORE_BREAKER_COOLDOWN``).
+    store_breaker_cooldown: float = 30.0
+
     # -- observability ------------------------------------------------------
     #: Enable the structured trace layer (``REPRO_TRACE``).
     trace: bool = False
@@ -186,7 +234,17 @@ ENV_KNOBS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "region_cache": ("REPRO_REGION_CACHE", _parse_bool),
     "fast_decode": ("REPRO_FAST_DECODE", _parse_bool),
     "decode_backend": ("REPRO_DECODE_BACKEND", _parse_backend),
-    "pool_persist": ("REPRO_POOL_PERSIST", _parse_bool),
+    "pool_persist": ("REPRO_POOL_PERSIST", _parse_strict_bool),
+    "store_quota_bytes": ("REPRO_STORE_QUOTA_BYTES", _parse_quota),
+    "store_policy": ("REPRO_STORE_POLICY", _parse_str),
+    "store_retries": ("REPRO_STORE_RETRIES", _parse_nonneg_int),
+    "store_backoff": ("REPRO_STORE_BACKOFF", _parse_backoff),
+    "store_breaker_threshold": (
+        "REPRO_STORE_BREAKER_THRESHOLD", _parse_nonneg_int
+    ),
+    "store_breaker_cooldown": (
+        "REPRO_STORE_BREAKER_COOLDOWN", _parse_backoff
+    ),
     "trace": ("REPRO_TRACE", _parse_bool),
     "trace_buffer": ("REPRO_TRACE_BUFFER", _parse_int),
 }
@@ -212,7 +270,7 @@ def from_env() -> Settings:
         if raw == "":
             # Historical rule: an empty value reads as unset, except
             # for booleans where "" counts among the falsy spellings.
-            if parse is _parse_bool:
+            if parse in (_parse_bool, _parse_strict_bool):
                 values[field_name] = False
             continue
         try:

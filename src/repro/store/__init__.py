@@ -1,0 +1,59 @@
+"""Unified crash-safe artifact store (see :mod:`repro.store.store`).
+
+:func:`get_store` is the entry point: it hands back one
+:class:`~repro.store.store.ArtifactStore` per root per process, so
+breaker state and warn-once flags are shared by every caller hitting
+the same directory (the sweep cell cache, the stage bundles, images,
+profiles).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.store.locks import LockTimeout, StoreLock
+from repro.store.policies import (
+    DEFAULT_POLICY,
+    available_policies,
+    eviction_order,
+    get_policy,
+    register_policy,
+)
+from repro.store.store import (
+    NAMESPACES,
+    ArtifactStore,
+    ManifestEntry,
+    StoreConfig,
+)
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "NAMESPACES",
+    "ArtifactStore",
+    "LockTimeout",
+    "ManifestEntry",
+    "StoreConfig",
+    "StoreLock",
+    "available_policies",
+    "eviction_order",
+    "get_policy",
+    "get_store",
+    "register_policy",
+    "reset_stores",
+]
+
+_STORES: dict[str, ArtifactStore] = {}
+
+
+def get_store(root: pathlib.Path | str) -> ArtifactStore:
+    """The process-wide store instance for *root*."""
+    key = str(pathlib.Path(root))
+    store = _STORES.get(key)
+    if store is None:
+        store = _STORES[key] = ArtifactStore(pathlib.Path(root))
+    return store
+
+
+def reset_stores() -> None:
+    """Drop cached instances (tests: clears breaker/warn state)."""
+    _STORES.clear()

@@ -1,0 +1,147 @@
+"""Crash-tolerant advisory lock for quota-critical store sections.
+
+Quota enforcement needs one short cross-process critical section: two
+workers that each observe ``usage + size <= quota`` and then both
+publish would overshoot the quota.  :class:`StoreLock` serializes
+admission + eviction + publish with an ``O_CREAT|O_EXCL`` lock file —
+the same primitive every other multi-process discipline in this repo
+is built on (cache temp names, chaos claim markers).
+
+The lock must never outlive a dead holder: a worker SIGKILLed
+mid-eviction leaves the file behind, and a sweep that then waited
+forever would turn one crash into a wedged store.  Waiters therefore
+break a lock whose recorded holder pid is gone, or whose file is older
+than ``stale_after`` seconds.  Breaking re-checks the file's identity
+(inode + mtime) immediately before the unlink, so a fresh lock created
+by a faster waiter in the meantime is not clobbered; the remaining
+restat→unlink window is tolerated — the lock guards quota *accounting*,
+not data integrity (all data writes stay individually atomic), so the
+worst case of a broken-lock race is one transient quota overshoot by a
+process that was about to crash anyway.
+
+Readers never take the lock; only admission/eviction/gc do.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import pathlib
+import time
+
+__all__ = ["StoreLock", "LockTimeout"]
+
+
+class LockTimeout(OSError):
+    """The store lock could not be acquired within the timeout."""
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True
+    return True
+
+
+class StoreLock:
+    """An exclusive advisory lock with dead-holder breaking."""
+
+    def __init__(
+        self,
+        path: pathlib.Path,
+        stale_after: float = 10.0,
+        poll: float = 0.005,
+    ):
+        self.path = pathlib.Path(path)
+        self.stale_after = stale_after
+        self.poll = poll
+        self._held = False
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(self, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                self._maybe_break_stale()
+            except OSError as exc:
+                if exc.errno == errno.ENOENT:
+                    # Parent directory vanished (store being torn
+                    # down); let the caller's retry discipline decide.
+                    raise
+                raise
+            else:
+                try:
+                    os.write(
+                        fd,
+                        json.dumps(
+                            {"pid": os.getpid(), "t": time.time()}
+                        ).encode(),
+                    )
+                finally:
+                    os.close(fd)
+                self._held = True
+                return
+            if time.monotonic() >= deadline:
+                raise LockTimeout(f"store lock {self.path} busy")
+            time.sleep(self.poll)
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "StoreLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # -- stale-holder breaking -----------------------------------------------
+
+    def _maybe_break_stale(self) -> None:
+        """Unlink the lock file if its holder is provably gone."""
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return  # already released
+        holder = -1
+        try:
+            obj = json.loads(self.path.read_text())
+            holder = int(obj.get("pid", -1))
+        except (OSError, ValueError, TypeError):
+            pass  # torn lock file: age alone decides
+        age = time.time() - stat.st_mtime
+        if holder > 0 and _pid_alive(holder) and age <= self.stale_after:
+            return
+        # Generation check: only break the exact lock instance we
+        # examined, never a fresh one raced in by another waiter.
+        try:
+            again = os.stat(self.path)
+        except OSError:
+            return
+        if (again.st_ino, again.st_mtime_ns) != (
+            stat.st_ino, stat.st_mtime_ns
+        ):
+            return
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

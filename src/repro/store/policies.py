@@ -1,0 +1,110 @@
+"""Eviction-policy registry for the unified artifact store.
+
+A policy is a pure function ``(entries) -> ordered victims``: given the
+manifest scan of every live ref, it returns the refs in the order the
+evictor should reclaim them.  The evictor walks that order until enough
+bytes are freed, so a policy expresses *preference*, not quota
+arithmetic.
+
+Two policies ship:
+
+``lru`` (the default)
+    Least-recently-accessed first.  The store bumps each ref's atime on
+    every hit (mtime is left untouched — resumability tests pin it), so
+    recency survives process boundaries through the filesystem.
+
+``coaccess``
+    Ozturk-style access-pattern grouping: refs whose last accesses fall
+    in the same time window are treated as one working set and evicted
+    together, oldest window first.  A sweep that always decodes a stage
+    bundle alongside its sibling cells keeps or loses that whole
+    cluster at once, instead of LRU shaving single members off a set
+    that will be re-fetched together anyway.
+
+Register custom policies with :func:`register_policy`; select one with
+``REPRO_STORE_POLICY``.  An unknown name degrades to ``lru`` with a
+warning (and a ``store.policy_fallback`` counter) rather than failing
+the sweep — eviction preference is never worth an outage.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, List
+
+if TYPE_CHECKING:
+    from repro.store.store import ManifestEntry
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "available_policies",
+    "eviction_order",
+    "get_policy",
+    "register_policy",
+]
+
+DEFAULT_POLICY = "lru"
+
+#: Width of one co-access window, in nanoseconds of ref atime.  Refs
+#: last touched within the same window count as one working set.
+COACCESS_WINDOW_NS = 2_000_000_000
+
+Policy = Callable[[Iterable["ManifestEntry"]], List["ManifestEntry"]]
+
+_POLICIES: dict[str, Policy] = {}
+
+
+def register_policy(name: str, fn: Policy | None = None):
+    """Register *fn* under *name* (usable as a decorator)."""
+    def _install(fn: Policy) -> Policy:
+        _POLICIES[name] = fn
+        return fn
+
+    if fn is not None:
+        return _install(fn)
+    return _install
+
+
+def get_policy(name: str) -> Policy | None:
+    return _POLICIES.get(name)
+
+
+def available_policies() -> tuple[str, ...]:
+    return tuple(sorted(_POLICIES))
+
+
+@register_policy("lru")
+def _lru(entries: Iterable["ManifestEntry"]) -> List["ManifestEntry"]:
+    """Oldest access first; path breaks ties deterministically."""
+    return sorted(entries, key=lambda e: (e.atime_ns, str(e.path)))
+
+
+@register_policy("coaccess")
+def _coaccess(entries: Iterable["ManifestEntry"]) -> List["ManifestEntry"]:
+    """Whole co-access windows, oldest window first.
+
+    Within a window, refs sharing an inode (dedup'd content) stay
+    adjacent so the group's bytes are actually reclaimed together.
+    """
+    return sorted(
+        entries,
+        key=lambda e: (
+            e.atime_ns // COACCESS_WINDOW_NS,
+            e.ino,
+            e.atime_ns,
+            str(e.path),
+        ),
+    )
+
+
+def eviction_order(
+    name: str, entries: Iterable["ManifestEntry"]
+) -> tuple[List["ManifestEntry"], bool]:
+    """Victims in policy order, plus whether *name* resolved.
+
+    Unknown names fall back to :data:`DEFAULT_POLICY` (the ``False``
+    in the return tells the caller to warn/count the fallback).
+    """
+    policy = _POLICIES.get(name)
+    if policy is None:
+        return _POLICIES[DEFAULT_POLICY](entries), False
+    return policy(entries), True

@@ -27,12 +27,16 @@ class TestSurface:
             "run",
             "squash",
             "squash_benchmark",
+            "store_gc",
+            "store_stats",
+            "store_verify",
             "sweep",
             "verify",
         ]
 
     def test_package_root_reexports_snapshot(self):
         assert sorted(repro._EXPORTS) == [
+            "ArtifactStore",
             "BufferStrategy",
             "LoadedSquash",
             "MEDIABENCH",
@@ -48,12 +52,14 @@ class TestSurface:
             "SquashResult",
             "Stage",
             "StageReport",
+            "StoreDegraded",
             "SweepSpec",
             "Tracer",
             "collect_profile",
             "current_settings",
             "enable_tracing",
             "get_registry",
+            "get_store",
             "get_tracer",
             "load_squashed",
             "mediabench_program",
@@ -62,6 +68,9 @@ class TestSurface:
             "squash",
             "squash_benchmark",
             "squeeze",
+            "store_gc",
+            "store_stats",
+            "store_verify",
             "sweep",
             "use_settings",
             "verify",

@@ -58,6 +58,44 @@ class TestRoundtrip:
         assert seal.startswith("crc32:") and len(seal) == len("crc32:") + 8
 
 
+class TestZeroLengthEntry:
+    """Regression: a zero-length file (a crash between create and
+    write, or a racing truncation) must be a clean reject — mmap of an
+    empty file raises ValueError, which used to escape the read path
+    when the mmap threshold was low."""
+
+    def test_empty_file_rejects_without_raising(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_bytes(b"")
+        stats = CacheStats()
+        assert read_entry(path, KEYS, stats) is None
+        assert stats.rejects == {"torn": 1}
+
+    def test_empty_file_safe_even_on_the_mmap_path(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.resilience import cache
+
+        monkeypatch.setattr(cache, "MMAP_MIN_BYTES", 0)
+        path = tmp_path / "empty.json"
+        path.write_bytes(b"")
+        stats = CacheStats()
+        assert read_entry(path, KEYS, stats) is None
+        assert stats.rejects == {"torn": 1}
+
+    def test_mmap_path_still_reads_real_entries(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs.metrics import get_registry
+        from repro.resilience import cache
+
+        monkeypatch.setattr(cache, "MMAP_MIN_BYTES", 1)
+        path = _write(tmp_path)
+        before = get_registry().counter("cellcache.mmap_reads").value
+        assert read_entry(path, KEYS) == ENTRY
+        assert get_registry().counter("cellcache.mmap_reads").value > before
+
+
 class TestCorruptionDetected:
     """Every corruption mode must read as 'absent', never raise, and be
     tallied under the right reject reason."""

@@ -58,8 +58,11 @@ class TestWarmReuse:
         first = Supervisor(work, _config()).run(_pid_tasks())
         second = Supervisor(work, _config()).run(_pid_tasks())
         assert first.ok and second.ok
-        # Same long-lived worker processes served both runs.
-        assert set(second.results.values()) <= set(first.results.values())
+        # Same long-lived worker processes served both runs.  (A fresh
+        # pool would share no PIDs; the first run may observe only a
+        # subset of the pool when a worker spawns slowly under load,
+        # so subset-in-either-direction is the wrong shape to pin.)
+        assert set(second.results.values()) & set(first.results.values())
         after = _pool_counters()
         assert (
             after.get("pool.acquire.reuse", 0)

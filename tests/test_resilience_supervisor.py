@@ -6,6 +6,7 @@ single CPU.
 """
 
 import time
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -16,6 +17,7 @@ from repro.resilience import (
     Supervisor,
     SupervisorConfig,
     Task,
+    get_pool_manager,
 )
 from tests._supervised_workers import work
 
@@ -111,6 +113,30 @@ class TestCrashIsolation:
         assert report.pool_rebuilds >= 1
         crashes = [e for e in report.events if e.kind == "crash"]
         assert crashes and all(e.retried for e in crashes)
+
+    def test_broken_pool_at_submit_time_is_replaced(self):
+        """A worker death can surface synchronously: ``pool.submit``
+        itself raises ``BrokenProcessPool`` when the crash lands while
+        later tasks are still being queued.  The supervisor must treat
+        that like an in-flight break — replace the pool and run the
+        never-submitted task on the replacement, unscathed."""
+        Supervisor(work, _config()).run(_tasks({"op": "ok", "value": 0}))
+        _fingerprint, pool = get_pool_manager()._parked[2]
+        real_submit, fired = pool.submit, []
+
+        def submit_once_broken(fn, *args, **kwargs):
+            if not fired:
+                fired.append(True)
+                raise BrokenProcessPool("worker died before submit")
+            return real_submit(fn, *args, **kwargs)
+
+        pool.submit = submit_once_broken
+        tasks = _tasks(*({"op": "ok", "value": i} for i in range(2)))
+        report = Supervisor(work, _config()).run(tasks)
+        assert report.ok
+        assert report.results == {0: 0, 1: 1}
+        assert report.pool_rebuilds == 1
+        assert report.executions == 2  # the failed submit never ran
 
     def test_crashes_have_their_own_generous_cap(self):
         policy = RetryPolicy(max_attempts=2, crash_cap_factor=4)

@@ -212,3 +212,140 @@ class TestNewKnobs:
         assert settings.current().pool_persist is True
         monkeypatch.setenv("REPRO_POOL_PERSIST", "0")
         assert settings.current().pool_persist is False
+
+
+class TestStrictBool:
+    """``REPRO_POOL_PERSIST`` is a *strict* boolean: unlike the
+    historical knobs (where any unknown spelling reads as truthy), a
+    typo is flagged instead of silently flipping behaviour."""
+
+    @pytest.mark.parametrize("raw", ["true", "TRUE", "1", "yes", "on"])
+    def test_truthy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_POOL_PERSIST", raw)
+        resolved = settings.current()
+        assert resolved.pool_persist is True
+        assert resolved.invalid == frozenset()
+
+    @pytest.mark.parametrize("raw", ["false", "False", "0", "no", "off"])
+    def test_falsy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_POOL_PERSIST", raw)
+        resolved = settings.current()
+        assert resolved.pool_persist is False
+        assert resolved.invalid == frozenset()
+
+    @pytest.mark.parametrize("raw", ["maybe", "2", "yep"])
+    def test_unknown_spelling_keeps_default_and_is_flagged(
+        self, monkeypatch, raw
+    ):
+        monkeypatch.setenv("REPRO_POOL_PERSIST", raw)
+        resolved = settings.current()
+        assert resolved.pool_persist is True
+        assert "REPRO_POOL_PERSIST" in resolved.invalid
+
+    def test_historical_bools_stay_permissive(self, monkeypatch):
+        """Pinned: the old knobs keep anything-not-falsy truthy —
+        tightening them would change deployed behaviour."""
+        monkeypatch.setenv("REPRO_TRACE", "maybe")
+        resolved = settings.current()
+        assert resolved.trace is True
+        assert resolved.invalid == frozenset()
+
+    def test_pool_release_warns_on_invalid_value(self, monkeypatch):
+        from repro.resilience import workerpool
+
+        monkeypatch.setenv("REPRO_POOL_PERSIST", "maybe")
+        manager = workerpool.PoolManager()
+
+        class FakePool:
+            _broken = True  # never parked, shut down instead
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        lease = workerpool.PoolLease(
+            pool=FakePool(), workers=1, fingerprint="fp"
+        )
+        with pytest.warns(RuntimeWarning, match="REPRO_POOL_PERSIST"):
+            assert manager.release(lease) is False
+
+
+class TestStoreKnobs:
+    def test_defaults(self):
+        resolved = settings.current()
+        assert resolved.store_quota_bytes is None
+        assert resolved.store_policy == "lru"
+        assert resolved.store_retries == 2
+        assert resolved.store_backoff == 0.05
+        assert resolved.store_breaker_threshold == 5
+        assert resolved.store_breaker_cooldown == 30.0
+
+    def test_env_spellings(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_QUOTA_BYTES", "65536")
+        monkeypatch.setenv("REPRO_STORE_POLICY", "coaccess")
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "4")
+        monkeypatch.setenv("REPRO_STORE_BACKOFF", "0.2")
+        monkeypatch.setenv("REPRO_STORE_BREAKER_THRESHOLD", "9")
+        monkeypatch.setenv("REPRO_STORE_BREAKER_COOLDOWN", "1.5")
+        resolved = settings.current()
+        assert resolved.store_quota_bytes == 65536
+        assert resolved.store_policy == "coaccess"
+        assert resolved.store_retries == 4
+        assert resolved.store_backoff == 0.2
+        assert resolved.store_breaker_threshold == 9
+        assert resolved.store_breaker_cooldown == 1.5
+
+    def test_zero_quota_disables_enforcement(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_QUOTA_BYTES", "0")
+        resolved = settings.current()
+        assert resolved.store_quota_bytes is None
+        assert resolved.invalid == frozenset()
+
+    def test_negative_quota_is_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_QUOTA_BYTES", "-5")
+        resolved = settings.current()
+        assert resolved.store_quota_bytes is None
+        assert "REPRO_STORE_QUOTA_BYTES" in resolved.invalid
+
+    def test_malformed_values_keep_defaults_and_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_QUOTA_BYTES", "lots")
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "many")
+        resolved = settings.current()
+        assert resolved.store_quota_bytes is None
+        assert resolved.store_retries == 2
+        assert resolved.invalid == frozenset(
+            {"REPRO_STORE_QUOTA_BYTES", "REPRO_STORE_RETRIES"}
+        )
+
+    def test_negative_retries_clamp_to_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "-2")
+        assert settings.current().store_retries == 0
+
+    def test_store_config_warns_on_invalid_store_vars(self, monkeypatch):
+        from repro.store.store import StoreConfig
+
+        monkeypatch.setenv("REPRO_STORE_QUOTA_BYTES", "lots")
+        monkeypatch.setenv("REPRO_STORE_BACKOFF", "slow")
+        with pytest.warns(RuntimeWarning) as caught:
+            cfg = StoreConfig.from_settings()
+        message = str(caught[0].message)
+        assert "REPRO_STORE_QUOTA_BYTES" in message
+        assert "REPRO_STORE_BACKOFF" in message
+        assert cfg.quota_bytes is None
+        assert cfg.backoff == 0.05
+
+    def test_store_config_silent_when_clean(self, monkeypatch):
+        import warnings as warnings_module
+
+        from repro.store.store import StoreConfig
+
+        monkeypatch.setenv("REPRO_STORE_QUOTA_BYTES", "4096")
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            cfg = StoreConfig.from_settings()
+        assert cfg.quota_bytes == 4096
+
+    def test_overrides_beat_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_POLICY", "coaccess")
+        with settings.use_settings(store_policy="lru"):
+            assert settings.current().store_policy == "lru"
+        assert settings.current().store_policy == "coaccess"
