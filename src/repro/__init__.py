@@ -71,6 +71,14 @@ _EXPORTS = {
     "store_stats": ("repro.api", "store_stats"),
     "store_gc": ("repro.api", "store_gc"),
     "store_verify": ("repro.api", "store_verify"),
+    "submit": ("repro.api", "submit"),
+    "job_status": ("repro.api", "job_status"),
+    "job_result": ("repro.api", "job_result"),
+    "JobSpec": ("repro.service.jobs", "JobSpec"),
+    "JobEngine": ("repro.service.engine", "JobEngine"),
+    "ServiceOverloaded": ("repro.errors", "ServiceOverloaded"),
+    "JobExpired": ("repro.errors", "JobExpired"),
+    "SpecError": ("repro.errors", "SpecError"),
     "MEDIABENCH": ("repro.workloads.mediabench", "MEDIABENCH"),
     "mediabench_program": ("repro.workloads.mediabench", "mediabench_program"),
     "mediabench_spec": ("repro.workloads.mediabench", "mediabench_spec"),

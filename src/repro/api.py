@@ -36,14 +36,18 @@ from repro.core.pipeline import (
     load_squashed,
     squash_program,
 )
+from repro.errors import SpecError
 
 __all__ = [
+    "JobSpec",
     "LoadedSquash",
     "RunOutcome",
     "RunSpec",
     "SquashConfig",
     "SquashResult",
     "SweepSpec",
+    "job_result",
+    "job_status",
     "load_squashed",
     "run",
     "squash",
@@ -51,6 +55,7 @@ __all__ = [
     "store_gc",
     "store_stats",
     "store_verify",
+    "submit",
     "sweep",
     "verify",
 ]
@@ -121,9 +126,25 @@ def squash(program, profile, config: SquashConfig | None = None,
 
 def squash_benchmark(name: str, scale: float = 1.0,
                      config: SquashConfig | None = None) -> SquashResult:
-    """Squash one synthetic MediaBench benchmark end to end."""
-    from repro.analysis.experiments import squash_benchmark as _bench
+    """Squash one synthetic MediaBench benchmark end to end.
 
+    Raises a typed :class:`~repro.errors.SpecError` for a benchmark
+    name outside the suite or a non-positive scale.
+    """
+    from repro.analysis.experiments import squash_benchmark as _bench
+    from repro.workloads.mediabench import MEDIABENCH
+
+    if name not in MEDIABENCH:
+        raise SpecError(
+            f"unknown benchmark {name!r} "
+            f"(expected one of {', '.join(MEDIABENCH)})",
+            field="name",
+        )
+    if not isinstance(scale, (int, float)) or not scale > 0:
+        raise SpecError(
+            f"scale must be a positive number, not {scale!r}",
+            field="scale",
+        )
     return _bench(name, scale, config or SquashConfig())
 
 
@@ -134,6 +155,24 @@ def run(target, spec: RunSpec | None = None) -> RunOutcome:
     saved-image prefix accepted by :func:`load_squashed`.
     """
     spec = spec or RunSpec()
+    if not isinstance(spec.max_steps, int) or spec.max_steps <= 0:
+        raise SpecError(
+            f"max_steps must be a positive integer, "
+            f"not {spec.max_steps!r}",
+            field="max_steps",
+        )
+    try:
+        words = tuple(spec.input_words)
+    except TypeError:
+        words = None
+    if words is None or not all(
+        isinstance(word, int) and not isinstance(word, bool)
+        for word in words
+    ):
+        raise SpecError(
+            "input_words must be a sequence of integers",
+            field="input_words",
+        )
     if isinstance(target, (str,)) or hasattr(target, "__fspath__"):
         target = load_squashed(target)
     if isinstance(target, SquashResult):
@@ -168,8 +207,26 @@ def sweep(spec: SweepSpec | None = None):
 
     spec = spec or SweepSpec()
     names = spec.names or MEDIABENCH
+    unknown = [name for name in names if name not in MEDIABENCH]
+    if unknown:
+        raise SpecError(
+            f"unknown benchmark(s) {', '.join(map(repr, unknown))} "
+            f"(expected among {', '.join(MEDIABENCH)})",
+            field="names",
+        )
     if spec.kind not in ("size", "time"):
-        raise ValueError(f"unknown sweep kind {spec.kind!r}")
+        raise SpecError(
+            f"unknown sweep kind {spec.kind!r} (size|time)",
+            field="kind",
+        )
+    if spec.thetas is not None and not all(
+        isinstance(theta, (int, float)) and not isinstance(theta, bool)
+        and theta >= 0
+        for theta in spec.thetas
+    ):
+        raise SpecError(
+            "thetas must be non-negative numbers", field="thetas"
+        )
     default_thetas = (
         experiments.FIG6_THETAS
         if spec.kind == "size"
@@ -227,3 +284,67 @@ def store_verify(root=None) -> dict:
     """Read-only health check of every store ref, object, and the
     manifest snapshot; nothing is modified."""
     return _store(root).verify()
+
+
+# -- job service --------------------------------------------------------------
+
+
+def submit(spec=None, **fields) -> str:
+    """Submit one job to the process-wide service engine.
+
+    Accepts a :class:`~repro.service.jobs.JobSpec` or its fields
+    (``kind``, ``payload``, ``tenant``, ``priority``, ``deadline``)::
+
+        job_id = api.submit(kind="squash",
+                            payload={"name": "gsm", "theta": 1e-4},
+                            tenant="alice", deadline=30.0)
+
+    Returns the job id.  Raises typed
+    :class:`~repro.errors.ServiceOverloaded` when the admission queue
+    sheds the request (back off for ``exc.retry_after`` seconds) and
+    :class:`~repro.errors.SpecError` on a malformed spec.
+    """
+    from repro.service import JobSpec as _JobSpec
+    from repro.service import get_engine
+
+    if spec is None:
+        spec = _JobSpec(**fields)
+    elif fields:
+        raise SpecError(
+            "pass a JobSpec or keyword fields, not both", field="spec"
+        )
+    return get_engine().submit(spec).id
+
+
+def job_status(job_id: str) -> dict:
+    """The job's current state snapshot (falls back to the crash-safe
+    journal for jobs submitted by a previous process)."""
+    from repro.service import get_engine
+
+    return get_engine().status(job_id)
+
+
+def job_result(job_id: str, timeout: float | None = None) -> dict:
+    """Block until the job is terminal and return its result payload.
+
+    Raises the typed error the job ended with —
+    :class:`~repro.errors.JobExpired` for deadline cancellations,
+    :class:`~repro.errors.JobFailed` for execution failures,
+    :class:`~repro.errors.UnknownJob` for ids the service never saw.
+    """
+    from repro.service import get_engine
+
+    return get_engine().result(job_id, timeout=timeout)
+
+
+def __getattr__(name: str):
+    # JobSpec is part of the facade surface but resolves lazily so
+    # ``import repro.api`` stays cheap (the service stack pulls in
+    # asyncio and the store).
+    if name == "JobSpec":
+        from repro.service.jobs import JobSpec as _JobSpec
+
+        return _JobSpec
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -19,13 +19,19 @@ Usage::
     python -m repro store gc
     python -m repro store verify
     python -m repro storechaos --names adpcm --scale 0.2 --seed 1
+    python -m repro serve --idle-exit 5
+    python -m repro submit squash --names gsm --theta 0.01 --wait 60
+    python -m repro jobs
+    python -m repro servechaos --scale 0.2 --seed 1
     python -m repro all
 
 Every command goes through the stable facade (:mod:`repro.api`); the
 figure sweeps that the facade models (`fig6`, `fig7a`, `fig7b`) call
 :func:`repro.api.sweep`, `squash`/`stages`/`trace`/`metrics` call
 :func:`repro.api.squash_benchmark`, and `verify` calls
-:func:`repro.api.verify`.
+:func:`repro.api.verify`.  The serving trio (`serve`, `submit`,
+`jobs`) runs the async job layer of :mod:`repro.service` over the
+filesystem spool; `servechaos` storms it.
 """
 
 from __future__ import annotations
@@ -437,6 +443,137 @@ def _cmd_storechaos(args) -> int:
     return code
 
 
+def _cmd_serve(args) -> int:
+    """Run the job service against the filesystem spool until
+    signalled (SIGTERM/SIGINT drain gracefully), *--max-jobs*
+    terminal jobs, or *--idle-exit* seconds of quiet."""
+    import signal
+    import threading
+
+    from repro.service import JobEngine, ServiceConfig, serve_forever
+
+    engine = JobEngine(ServiceConfig.from_settings())
+    engine.start(recover=True)
+    stop_flag = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop_flag.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _request_stop)
+    print(
+        f"serve: up (workers {engine.config.workers}, "
+        f"queue depth {engine.config.queue_depth}, "
+        f"tenant cap {engine.config.tenant_cap})",
+        file=sys.stderr,
+    )
+    try:
+        terminal = serve_forever(
+            engine,
+            max_jobs=args.max_jobs,
+            idle_exit=args.idle_exit,
+            should_stop=stop_flag.is_set,
+        )
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        engine.stop()
+    print(f"serve: drained after {terminal} terminal jobs",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Spool one job for a running ``repro serve`` process.
+
+    The positional argument picks the job kind (default ``squash``);
+    ``--wait SECONDS`` polls the journal for the terminal record.
+    """
+    import json
+
+    from repro.service import JobSpec, SpoolClient
+
+    kind = args.prefix or "squash"
+    if kind == "squash":
+        payload = {
+            "name": args.names[0], "theta": args.theta,
+            "scale": args.scale, "bound": args.bound,
+        }
+    elif kind == "sweep":
+        payload = {"names": list(args.names), "scale": args.scale,
+                   "sweep_kind": "size"}
+    elif kind == "verify":
+        if not args.save:
+            print("submit: verify jobs need --save PREFIX")
+            return 2
+        payload = {"prefix": args.save}
+    else:
+        print(f"submit: unknown job kind {kind!r} (squash|sweep|verify)")
+        return 2
+    spec = JobSpec(
+        kind=kind, payload=payload, tenant=args.tenant,
+        priority=args.priority, deadline=args.deadline_s,
+    )
+    client = SpoolClient()
+    job_id = client.submit(spec)
+    print(f"submitted {job_id} ({kind}, tenant={args.tenant}, "
+          f"priority={args.priority})")
+    if args.wait is None:
+        return 0
+    record = client.wait(job_id, timeout=args.wait)
+    state = record.get("state")
+    print(f"{job_id}: {state}")
+    if state == "done":
+        print(json.dumps(record.get("result") or {}, sort_keys=True))
+        return 0
+    error = record.get("error") or []
+    if error:
+        print(f"  {error[0]}: {error[1] if len(error) > 1 else ''}")
+    return 1
+
+
+def _cmd_jobs(args) -> int:
+    """List every journaled job (the crash-safe service history)."""
+    from repro.service import JobJournal
+
+    records = JobJournal().load_all()
+    if not records:
+        print("jobs: journal is empty")
+        return 0
+    rows = []
+    for record in sorted(
+        records.values(), key=lambda r: (r.get("wall_time") or 0.0)
+    ):
+        spec = record.get("spec") or {}
+        rows.append([
+            record.get("id", "?")[:12],
+            record.get("state", "?"),
+            spec.get("kind", "?"),
+            spec.get("tenant", "?"),
+            spec.get("priority", "?"),
+            "yes" if record.get("recovered") else "",
+        ])
+    print(
+        ascii_table(
+            ["job", "state", "kind", "tenant", "priority", "recovered"],
+            rows,
+            title=f"service journal ({len(rows)} jobs)",
+        )
+    )
+    return 0
+
+
+def _cmd_servechaos(args) -> int:
+    from repro.faultinject import run_serve_chaos
+
+    report = run_serve_chaos(
+        scale=args.scale, seed=args.seed, scenarios=args.scenarios,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig3": _cmd_fig3,
@@ -456,6 +593,10 @@ _COMMANDS = {
     "chaossweep": _cmd_chaossweep,
     "store": _cmd_store,
     "storechaos": _cmd_storechaos,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "servechaos": _cmd_servechaos,
 }
 
 
@@ -528,6 +669,38 @@ def main(argv: list[str] | None = None) -> int:
         "(default 32768)",
     )
     parser.add_argument(
+        "--tenant", default="default",
+        help="tenant namespace for the submitted job (submit command)",
+    )
+    parser.add_argument(
+        "--priority", default="batch",
+        choices=("interactive", "batch"),
+        help="priority class for the submitted job (submit command)",
+    )
+    parser.add_argument(
+        "--deadline-s", type=float, default=None, metavar="SECONDS",
+        help="job deadline in seconds from submission (submit command)",
+    )
+    parser.add_argument(
+        "--wait", type=float, default=None, metavar="SECONDS",
+        help="wait up to SECONDS for the job's terminal journal "
+        "record (submit command)",
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="exit after this many terminal jobs (serve command)",
+    )
+    parser.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="exit after SECONDS with nothing spooled, queued, or "
+        "running (serve command)",
+    )
+    parser.add_argument(
+        "--scenarios", nargs="*", default=None,
+        help="serve-chaos scenario subset (servechaos command; "
+        "default: all)",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="PATH",
         help="write the Chrome trace-event JSON to PATH "
         "(trace command; default: stdout)",
@@ -557,6 +730,7 @@ def main(argv: list[str] | None = None) -> int:
                 if name in (
                     "squash", "stages", "verify", "trace", "metrics",
                     "faultsweep", "chaossweep", "store", "storechaos",
+                    "serve", "submit", "jobs", "servechaos",
                 ):
                     continue
                 command(args)

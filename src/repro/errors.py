@@ -22,7 +22,12 @@ The taxonomy::
     ├── WatchdogExpired         VM watchdog budget exhausted (hang guard)
     ├── CellFailure             an experiment cell lost to crash/timeout
     ├── BreakerOpen             circuit breaker refused a cell class
-    └── StoreDegraded           artifact store unusable; recompute instead
+    ├── StoreDegraded           artifact store unusable; recompute instead
+    ├── SpecError               (also ValueError) malformed api spec/config
+    ├── ServiceOverloaded       job service shed the submission (load)
+    ├── JobExpired              job deadline passed; cancelled, not late
+    ├── JobFailed               job reached a terminal failure state
+    └── UnknownJob              (also KeyError) no such job id
 
 ``CorruptBlobError``/``CodecTableError`` double as :class:`ValueError`
 and ``TruncatedStreamError`` as :class:`EOFError` so long-standing
@@ -51,6 +56,11 @@ __all__ = [
     "CellFailure",
     "BreakerOpen",
     "StoreDegraded",
+    "SpecError",
+    "ServiceOverloaded",
+    "JobExpired",
+    "JobFailed",
+    "UnknownJob",
 ]
 
 
@@ -224,5 +234,126 @@ class StoreDegraded(SquashError):
         if reason and reason not in message:
             message = f"{message} [reason {reason}]" if message else (
                 f"store degraded: {reason}"
+            )
+        super().__init__(message, **kwargs)
+
+
+class SpecError(SquashError, ValueError):
+    """A facade spec or config carries a value the api cannot act on:
+    an unknown benchmark name, a sweep kind outside ``size``/``time``,
+    a non-positive step budget, malformed input words.  ``field`` names
+    the offending spec field when one can be singled out."""
+
+    def __init__(self, message: str = "", *, field: str = "", **kwargs):
+        self.field = field
+        if field and field not in message:
+            message = f"{message} [field {field}]" if message else (
+                f"invalid spec field {field}"
+            )
+        super().__init__(message, **kwargs)
+
+
+class ServiceOverloaded(SquashError):
+    """The job service refused this submission.
+
+    Typed load shedding: the bounded admission queue is full, the
+    tenant is over its cap, or the service is draining.  ``retry_after``
+    is the service's estimate (seconds) of when a resubmission has a
+    chance; clients back off instead of hammering.  An accepted job is
+    never shed — shedding happens only at the admission door.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        reason: str = "",
+        retry_after: float = 0.0,
+        tenant: str = "",
+        **kwargs,
+    ):
+        self.reason = reason
+        self.retry_after = retry_after
+        self.tenant = tenant
+        detail = []
+        if reason:
+            detail.append(f"reason {reason}")
+        if tenant:
+            detail.append(f"tenant {tenant}")
+        if retry_after:
+            detail.append(f"retry after {retry_after:.2f}s")
+        if detail:
+            message = f"{message} [{', '.join(detail)}]" if message else (
+                ", ".join(detail)
+            )
+        super().__init__(message, **kwargs)
+
+
+class JobExpired(SquashError):
+    """The job's deadline passed before it could finish.
+
+    Deadlines propagate: a queued job whose deadline lapses is never
+    started, and a running job whose work outlives the deadline has its
+    result discarded — expired jobs are *cancelled*, not completed
+    late.  Supervisor cells under an expiring job observe the
+    tightened ``cell_deadline``.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        job_id: str = "",
+        deadline: float | None = None,
+        **kwargs,
+    ):
+        self.job_id = job_id
+        self.deadline = deadline
+        detail = []
+        if job_id:
+            detail.append(f"job {job_id}")
+        if deadline is not None:
+            detail.append(f"deadline {deadline:.2f}s")
+        if detail:
+            message = f"{message} [{', '.join(detail)}]" if message else (
+                ", ".join(detail)
+            )
+        super().__init__(message, **kwargs)
+
+
+class JobFailed(SquashError):
+    """The job executed and failed terminally; ``error_type`` and the
+    message carry the underlying failure for the submitting client."""
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        job_id: str = "",
+        error_type: str = "",
+        **kwargs,
+    ):
+        self.job_id = job_id
+        self.error_type = error_type
+        detail = []
+        if job_id:
+            detail.append(f"job {job_id}")
+        if error_type:
+            detail.append(f"error {error_type}")
+        if detail:
+            message = f"{message} [{', '.join(detail)}]" if message else (
+                ", ".join(detail)
+            )
+        super().__init__(message, **kwargs)
+
+
+class UnknownJob(SquashError, KeyError):
+    """No job with this id exists in the engine or its journal."""
+
+    def __init__(self, message: str = "", *, job_id: str = "", **kwargs):
+        self.job_id = job_id
+        if job_id and job_id not in message:
+            message = f"{message} [job {job_id}]" if message else (
+                f"unknown job {job_id}"
             )
         super().__init__(message, **kwargs)

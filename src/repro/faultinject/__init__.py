@@ -36,6 +36,11 @@ from repro.faultinject.storechaos import (
     StoreChaosReport,
     run_store_chaos,
 )
+from repro.faultinject.servechaos import (
+    SCENARIOS as SERVE_CHAOS_SCENARIOS,
+    ServeChaosReport,
+    run_serve_chaos,
+)
 from repro.faultinject.inject import (
     FAULT_KINDS,
     FaultSpec,
@@ -72,4 +77,7 @@ __all__ = [
     "run_chaos_sweep",
     "StoreChaosReport",
     "run_store_chaos",
+    "SERVE_CHAOS_SCENARIOS",
+    "ServeChaosReport",
+    "run_serve_chaos",
 ]

@@ -1,0 +1,487 @@
+"""Serve chaos: the squash-as-a-service stack under overload and murder.
+
+``repro servechaos`` proves the robustness claims of
+:mod:`repro.service` end to end, in four scenarios over private roots:
+
+1. **Overload storm** — an engine with a tiny admission queue and
+   dispatch frozen is flooded past capacity.  Every rejected
+   submission must shed with a typed
+   :class:`~repro.errors.ServiceOverloaded` carrying a positive
+   retry-after hint; every *accepted* job must reach a terminal state
+   once dispatch resumes, with an image digest byte-identical to a
+   direct :func:`repro.api.squash_benchmark` call.  The storm also
+   checks the deadline contract: a microscopic deadline expires with a
+   typed :class:`~repro.errors.JobExpired`, and a generous one shows
+   up tightened in the supervisor ``cell_deadline`` the job ran under.
+2. **Tenant hog** — one tenant floods a single-worker engine, a
+   second tenant submits afterwards; round-robin scheduling under the
+   per-tenant cap must interleave the second tenant's jobs instead of
+   starving them behind the hog's backlog.
+3. **SIGKILL mid-job** — a real ``repro serve`` subprocess is
+   SIGKILLed while a spooled job is running; a restarted server must
+   recover the journal, finish every submitted job (none lost, none
+   stuck), and produce digests identical to direct facade calls.
+4. **Dead store** — the journal's store is put under an unbounded
+   ENOSPC storm with retries off; journaling degrades (counted by
+   ``service.journal_degraded``) but admission, execution, and results
+   keep working — availability outlives the journal.
+
+The run **fails** (non-zero exit) if a shed was untyped, an accepted
+job was lost, a deadline was ignored, tenants starved, a SIGKILL lost
+a job, or the dead-store pass either broke job execution or recorded
+no degradation.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import JobExpired, ServiceOverloaded
+from repro.faultinject import chaos
+from repro.faultinject.chaossweep import _env
+from repro.obs.metrics import get_registry
+
+__all__ = ["SCENARIOS", "ServeChaosReport", "run_serve_chaos"]
+
+_METRICS = get_registry()
+
+SCENARIOS = ("overload", "fairness", "sigkill", "deadstore")
+
+
+@dataclass
+class ServeChaosReport:
+    """Everything one serve-chaos run observed, and its verdict."""
+
+    scale: float
+    seed: int
+    scenarios: tuple[str, ...] = SCENARIOS
+    #: Unexpected per-scenario exceptions (scenario -> message).
+    errors: dict[str, str] = field(default_factory=dict)
+
+    # overload storm
+    storm_submitted: int = 0
+    storm_accepted: int = 0
+    storm_shed: int = 0
+    storm_sheds_typed: bool = False
+    storm_retry_after_min: float = 0.0
+    storm_terminal: int = 0
+    storm_digests_match: bool = False
+    deadline_expired_typed: bool = False
+    cell_deadline_propagated: bool = False
+
+    # tenant hog
+    hog_jobs: int = 0
+    mouse_jobs: int = 0
+    fairness_interleaved: bool = False
+
+    # SIGKILL mid-job
+    kill_jobs: int = 0
+    kill_delivered: bool = False
+    kill_recovered: int = 0
+    kill_lost: int = 0
+    kill_digests_match: bool = False
+
+    # dead store
+    deadstore_jobs: int = 0
+    deadstore_completed: int = 0
+    deadstore_degraded: int = 0
+
+    @property
+    def overload_ok(self) -> bool:
+        return (
+            self.storm_shed > 0
+            and self.storm_sheds_typed
+            and self.storm_retry_after_min > 0
+            and self.storm_terminal == self.storm_accepted
+            and self.storm_digests_match
+            and self.deadline_expired_typed
+            and self.cell_deadline_propagated
+        )
+
+    @property
+    def fairness_ok(self) -> bool:
+        return self.mouse_jobs > 0 and self.fairness_interleaved
+
+    @property
+    def sigkill_ok(self) -> bool:
+        return (
+            self.kill_delivered
+            and self.kill_lost == 0
+            and self.kill_digests_match
+        )
+
+    @property
+    def deadstore_ok(self) -> bool:
+        return (
+            self.deadstore_completed == self.deadstore_jobs
+            and self.deadstore_degraded > 0
+        )
+
+    @property
+    def ok(self) -> bool:
+        if self.errors:
+            return False
+        checks = {
+            "overload": self.overload_ok,
+            "fairness": self.fairness_ok,
+            "sigkill": self.sigkill_ok,
+            "deadstore": self.deadstore_ok,
+        }
+        return all(checks[name] for name in self.scenarios)
+
+    def render(self) -> str:
+        lines = [
+            f"serve chaos: scale={self.scale} seed={self.seed} "
+            f"scenarios={','.join(self.scenarios)}"
+        ]
+        if "overload" in self.scenarios:
+            lines += [
+                f"  overload: {self.storm_submitted} submitted, "
+                f"{self.storm_accepted} accepted, {self.storm_shed} shed "
+                f"({'typed' if self.storm_sheds_typed else 'UNTYPED'}, "
+                f"retry-after >= {self.storm_retry_after_min:.3f}s)",
+                f"    accepted terminal: {self.storm_terminal}"
+                f"/{self.storm_accepted}, digests "
+                f"{'identical to direct api' if self.storm_digests_match else 'DIVERGED'}",
+                f"    deadline: tight one "
+                f"{'expired typed' if self.deadline_expired_typed else 'NOT ENFORCED'}, "
+                f"cell deadline "
+                f"{'propagated' if self.cell_deadline_propagated else 'NOT PROPAGATED'}",
+                f"    [{'OK' if self.overload_ok else 'FAILED'}]",
+            ]
+        if "fairness" in self.scenarios:
+            lines.append(
+                f"  fairness: hog {self.hog_jobs} jobs vs mouse "
+                f"{self.mouse_jobs}; "
+                f"{'interleaved' if self.fairness_interleaved else 'STARVED'}"
+                f"  [{'OK' if self.fairness_ok else 'FAILED'}]"
+            )
+        if "sigkill" in self.scenarios:
+            lines.append(
+                f"  sigkill: {self.kill_jobs} jobs, server "
+                f"{'killed mid-job' if self.kill_delivered else 'NOT KILLED'}, "
+                f"{self.kill_recovered} recovered, {self.kill_lost} lost, "
+                f"digests "
+                f"{'identical' if self.kill_digests_match else 'DIVERGED'}"
+                f"  [{'OK' if self.sigkill_ok else 'FAILED'}]"
+            )
+        if "deadstore" in self.scenarios:
+            lines.append(
+                f"  dead store: {self.deadstore_completed}"
+                f"/{self.deadstore_jobs} jobs completed, "
+                f"journal degradations {self.deadstore_degraded}"
+                f"  [{'OK' if self.deadstore_ok else 'FAILED'}]"
+            )
+        for name, message in self.errors.items():
+            lines.append(f"  {name}: ERROR {message}")
+        lines.append(f"  verdict: {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _direct_digest(name: str, theta: float, scale: float) -> str:
+    """The byte-identity reference: what a direct facade call saves."""
+    import repro.api as api
+    from repro.service.jobs import _image_digest
+
+    result = api.squash_benchmark(
+        name, scale, api.SquashConfig(theta=theta)
+    )
+    return _image_digest(result)
+
+
+def _squash_spec(theta: float, scale: float, *, name: str = "adpcm",
+                 tenant: str = "default", priority: str = "batch",
+                 deadline: float | None = None):
+    from repro.service import JobSpec
+
+    return JobSpec(
+        kind="squash",
+        payload={"name": name, "theta": theta, "scale": scale},
+        tenant=tenant, priority=priority, deadline=deadline,
+    )
+
+
+def _resume_dispatch(engine) -> None:
+    engine._dispatch_paused = False
+    loop = engine._loop
+    if loop is not None and engine._wake is not None:
+        loop.call_soon_threadsafe(engine._wake.set)
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def _run_overload(report: ServeChaosReport, root: pathlib.Path,
+                  scale: float) -> None:
+    from repro.service import JobEngine, JobJournal, ServiceConfig
+
+    config = ServiceConfig(
+        queue_depth=3, workers=2, tenant_cap=2, drain_timeout=30.0
+    )
+    engine = JobEngine(config, journal=JobJournal(root))
+    engine._dispatch_paused = True
+    engine.start(recover=False)
+    try:
+        accepted = []
+        sheds = []
+        retry_afters = []
+        # Distinct thetas defeat result caching, so the storm jobs do
+        # real work; depth+queue_depth submissions guarantee overflow.
+        for index in range(config.queue_depth + 3):
+            theta = 1e-4 * (index + 1)
+            report.storm_submitted += 1
+            try:
+                job = engine.submit(_squash_spec(theta, scale))
+                accepted.append((job.id, theta))
+            except ServiceOverloaded as exc:
+                sheds.append(exc)
+                retry_afters.append(exc.retry_after)
+        report.storm_accepted = len(accepted)
+        report.storm_shed = len(sheds)
+        report.storm_sheds_typed = bool(sheds) and all(
+            exc.reason == "queue-full" for exc in sheds
+        )
+        report.storm_retry_after_min = min(retry_afters, default=0.0)
+        _resume_dispatch(engine)
+        matches = []
+        for job_id, theta in accepted:
+            result = engine.result(job_id, timeout=300.0)
+            report.storm_terminal += 1
+            matches.append(
+                result["image_digest"]
+                == _direct_digest("adpcm", theta, scale)
+            )
+        report.storm_digests_match = bool(matches) and all(matches)
+
+        # Deadline contract, on the now-unloaded engine: a microscopic
+        # deadline expires typed, a generous one tightens the
+        # supervisor cell deadline the job's work observes.
+        try:
+            job = engine.submit(
+                _squash_spec(2e-3, scale, deadline=0.0001)
+            )
+            engine.result(job.id, timeout=60.0)
+        except JobExpired:
+            report.deadline_expired_typed = True
+        job = engine.submit(_squash_spec(3e-3, scale, deadline=30.0))
+        result = engine.result(job.id, timeout=60.0)
+        observed = result.get("cell_deadline")
+        report.cell_deadline_propagated = (
+            observed is not None and 0 < observed <= 30.0
+        )
+    finally:
+        engine.stop(drain_timeout=1.0)
+
+
+def _run_fairness(report: ServeChaosReport, root: pathlib.Path,
+                  scale: float) -> None:
+    from repro.service import JobEngine, JobJournal, ServiceConfig
+
+    config = ServiceConfig(
+        queue_depth=32, workers=1, tenant_cap=1, drain_timeout=30.0
+    )
+    engine = JobEngine(config, journal=JobJournal(root))
+    engine._dispatch_paused = True
+    engine.start(recover=False)
+    try:
+        hog = [
+            engine.submit(
+                _squash_spec(1e-3 * (index + 1), scale, tenant="hog")
+            )
+            for index in range(4)
+        ]
+        mouse = [
+            engine.submit(
+                _squash_spec(5e-4 * (index + 1), scale, tenant="mouse")
+            )
+            for index in range(2)
+        ]
+        report.hog_jobs = len(hog)
+        report.mouse_jobs = len(mouse)
+        _resume_dispatch(engine)
+        for job in hog + mouse:
+            engine.result(job.id, timeout=300.0)
+        # Fair scheduling: the mouse's first job must finish before
+        # the hog's backlog does — round-robin, not FIFO starvation.
+        first_mouse = min(job.finished_at for job in mouse)
+        last_hog = max(job.finished_at for job in hog)
+        report.fairness_interleaved = first_mouse < last_hog
+    finally:
+        engine.stop(drain_timeout=1.0)
+
+
+def _serve_argv(extra: list[str]) -> list[str]:
+    return [sys.executable, "-m", "repro", "serve", *extra]
+
+
+def _run_sigkill(report: ServeChaosReport, root: pathlib.Path,
+                 scale: float) -> None:
+    from repro.service import SpoolClient
+
+    env = dict(os.environ)
+    env.update(
+        REPRO_CACHE_DIR=str(root),
+        REPRO_SERVICE_WORKERS="1",
+    )
+    client = SpoolClient(root)
+    thetas = [2e-4 * (index + 1) for index in range(3)]
+    with _env(REPRO_CACHE_DIR=str(root)):
+        job_ids = [
+            client.submit(_squash_spec(theta, scale))
+            for theta in thetas
+        ]
+    report.kill_jobs = len(job_ids)
+    server = subprocess.Popen(
+        _serve_argv([]), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        # Kill the instant the journal shows a job mid-run; the
+        # deadline below bounds a server that never gets there.
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if any(
+                (client.journal.load(job_id) or {}).get("state")
+                == "running"
+                for job_id in job_ids
+            ):
+                server.send_signal(signal.SIGKILL)
+                report.kill_delivered = True
+                break
+            if server.poll() is not None:
+                break
+            time.sleep(0.01)
+        server.wait(timeout=30.0)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30.0)
+
+    # Restart: journal recovery plus the still-spooled requests must
+    # finish every job; none lost, none stuck.
+    server = subprocess.Popen(
+        _serve_argv(["--idle-exit", "2.0"]), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        matches = []
+        for job_id, theta in zip(job_ids, thetas):
+            try:
+                record = client.wait(job_id, timeout=300.0)
+            except (TimeoutError, ServiceOverloaded):
+                report.kill_lost += 1
+                continue
+            if record.get("state") != "done":
+                report.kill_lost += 1
+                continue
+            if record.get("recovered"):
+                report.kill_recovered += 1
+            matches.append(
+                (record.get("result") or {}).get("image_digest")
+                == _direct_digest("adpcm", theta, scale)
+            )
+        report.kill_digests_match = bool(matches) and all(matches)
+        server.wait(timeout=120.0)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30.0)
+
+
+def _run_deadstore(report: ServeChaosReport, root: pathlib.Path,
+                   scale: float) -> None:
+    from repro.service import JobEngine, JobJournal, ServiceConfig
+    from repro.store import reset_stores
+
+    counters = pathlib.Path(
+        tempfile.mkdtemp(prefix="repro-servechaos-exec-")
+    )
+    storm = chaos.StoreChaosSpec(
+        enospc=1_000_000, counter_dir=str(counters)
+    )
+    degraded_before = _METRICS.counter("service.journal_degraded").value
+    try:
+        # Retries off and a hair-trigger breaker: every journal write
+        # degrades immediately instead of burning backoff time.
+        with _env(
+            REPRO_CACHE_DIR=str(root),
+            REPRO_STORE_CHAOS=storm.to_env(),
+            REPRO_STORE_RETRIES="0",
+            REPRO_STORE_BACKOFF="0.001",
+            REPRO_STORE_BREAKER_THRESHOLD="2",
+        ):
+            reset_stores()
+            config = ServiceConfig(
+                queue_depth=8, workers=1, tenant_cap=1,
+                drain_timeout=30.0,
+            )
+            engine = JobEngine(config, journal=JobJournal(root))
+            engine.start(recover=False)
+            try:
+                thetas = [7e-4 * (index + 1) for index in range(2)]
+                jobs = [
+                    engine.submit(_squash_spec(theta, scale))
+                    for theta in thetas
+                ]
+                report.deadstore_jobs = len(jobs)
+                for job, theta in zip(jobs, thetas):
+                    result = engine.result(job.id, timeout=300.0)
+                    if result["image_digest"] == _direct_digest(
+                        "adpcm", theta, scale
+                    ):
+                        report.deadstore_completed += 1
+            finally:
+                engine.stop(drain_timeout=1.0)
+        reset_stores()
+    finally:
+        shutil.rmtree(counters, ignore_errors=True)
+    report.deadstore_degraded = (
+        _METRICS.counter("service.journal_degraded").value
+        - degraded_before
+    )
+
+
+_RUNNERS = {
+    "overload": _run_overload,
+    "fairness": _run_fairness,
+    "sigkill": _run_sigkill,
+    "deadstore": _run_deadstore,
+}
+
+
+def run_serve_chaos(
+    scale: float = 0.2,
+    seed: int = 0,
+    scenarios: tuple[str, ...] | list[str] | None = None,
+) -> ServeChaosReport:
+    """Run the serve-chaos scenarios; see the module docstring."""
+    selected = tuple(scenarios) if scenarios else SCENARIOS
+    unknown = [name for name in selected if name not in _RUNNERS]
+    if unknown:
+        raise ValueError(
+            f"unknown serve-chaos scenario(s) {', '.join(unknown)} "
+            f"(expected among {', '.join(SCENARIOS)})"
+        )
+    report = ServeChaosReport(scale=scale, seed=seed, scenarios=selected)
+    for name in selected:
+        root = pathlib.Path(
+            tempfile.mkdtemp(prefix=f"repro-servechaos-{name}-")
+        )
+        try:
+            _RUNNERS[name](report, root, scale)
+        except Exception as exc:  # noqa: BLE001 - verdict, not crash
+            report.errors[name] = f"{type(exc).__name__}: {exc}"
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return report

@@ -371,10 +371,10 @@ class Supervisor:
         manager = get_pool_manager()
         lease = manager.acquire(workers, initializer=_mark_pool_worker)
         pool = lease.pool
-        if self._tracer.enabled:
-            self._tracer.emit("pool.lease", "sweep", warm=lease.reused)
         deadline = self.config.deadline
         try:
+            if self._tracer.enabled:
+                self._tracer.emit("pool.lease", "sweep", warm=lease.reused)
             while queue or inflight:
                 now = time.monotonic()
                 # Submit every ready task while worker slots are free.
@@ -511,11 +511,22 @@ class Supervisor:
                     inflight.clear()
                     lease = self._replace_pool(lease, report, kill=True)
                     pool = lease.pool
-        except BaseException:
-            # An escaping exception (KeyboardInterrupt above all) may
-            # leave futures in flight; a pool mid-task must never be
-            # parked warm.
+        except BaseException as exc:
+            # An escaping exception (KeyboardInterrupt / SIGTERM above
+            # all) may leave futures in flight.  Cancel what has not
+            # started, kill the workers running the rest, and hand the
+            # lease back through discard — a pool mid-task must never
+            # be parked warm for the next run to inherit.
+            for future in inflight:
+                future.cancel()
+            inflight.clear()
             manager.discard(lease, kill=True)
+            _METRICS.inc("supervisor.interrupted")
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "pool.interrupt", "sweep",
+                    kind=type(exc).__name__,
+                )
             raise
         else:
             manager.release(lease)

@@ -1,0 +1,55 @@
+"""Squash-as-a-service: the async job layer over the typed facade.
+
+The engine (:mod:`repro.service.engine`) accepts squash/sweep/verify
+jobs through a bounded admission queue with typed load shedding,
+schedules them fairly across tenants under per-tenant caps and
+priority classes, propagates job deadlines into supervisor cell
+deadlines, journals every state transition crash-safely through
+:mod:`repro.store`, and drains gracefully on SIGTERM/SIGINT.
+
+Entry points:
+
+* library — ``api.submit`` / ``api.job_status`` / ``api.job_result``
+  drive the process-wide engine (:func:`get_engine`);
+* processes — ``repro serve`` runs the engine against the filesystem
+  spool (:mod:`repro.service.spool`), ``repro submit`` spools requests
+  and waits on the journal, ``repro jobs`` lists journal records;
+* chaos — :mod:`repro.faultinject.servechaos` (``repro servechaos``)
+  storms, starves, SIGKILLs, and degrades the whole stack.
+"""
+
+from repro.service.engine import (
+    JobEngine,
+    ServiceConfig,
+    get_engine,
+    reset_engine,
+)
+from repro.service.jobs import (
+    JOB_KINDS,
+    PRIORITIES,
+    TERMINAL_STATES,
+    Job,
+    JobSpec,
+    execute_job,
+    new_job_id,
+)
+from repro.service.journal import JobJournal
+from repro.service.spool import SpoolClient, serve_forever, spool_dir
+
+__all__ = [
+    "JOB_KINDS",
+    "PRIORITIES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobEngine",
+    "JobJournal",
+    "JobSpec",
+    "ServiceConfig",
+    "SpoolClient",
+    "execute_job",
+    "get_engine",
+    "new_job_id",
+    "reset_engine",
+    "serve_forever",
+    "spool_dir",
+]

@@ -1,0 +1,259 @@
+"""Job specs, states, and the execution dispatcher of the service.
+
+A job is one squash/sweep/verify request travelling through the
+engine (:mod:`repro.service.engine`): a frozen :class:`JobSpec`
+describing *what* to do, plus the mutable :class:`Job` bookkeeping the
+engine keeps while it moves through its states::
+
+    queued -> running -> done | failed | expired
+         \\-> expired (deadline lapsed while waiting)
+         \\-> requeued (service drained; journal keeps it for restart)
+
+Payloads are plain JSON dicts rather than the api dataclasses so a
+spec round-trips byte-identically through the crash-safe journal and
+the submission spool.  :func:`execute_job` is the single dispatch
+point from a spec to the typed :mod:`repro.api` facade; it returns a
+JSON-able result payload whose digests let callers prove a service
+result is byte-identical to a direct facade call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.errors import SpecError
+
+__all__ = [
+    "JOB_KINDS",
+    "PRIORITIES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobSpec",
+    "execute_job",
+    "new_job_id",
+]
+
+#: Request kinds the service executes, each mapping onto one facade
+#: entry point.
+JOB_KINDS = ("squash", "sweep", "verify")
+
+#: Priority classes, highest first; the scheduler always drains a
+#: class before touching the next.
+PRIORITIES = ("interactive", "batch")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "expired")
+
+
+def new_job_id() -> str:
+    """A fresh journal-keyable job id (32 hex chars; the store shards
+    refs by the first two)."""
+    return secrets.token_hex(16)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One service request, JSON-serializable end to end."""
+
+    kind: str
+    #: Kind-specific arguments (benchmark name, θ, sweep names, ...).
+    payload: dict = field(default_factory=dict)
+    tenant: str = "default"
+    priority: str = "batch"
+    #: Seconds from submission until the job expires (None: the
+    #: ``REPRO_SERVICE_DEADLINE`` default, 0/None meaning no deadline).
+    deadline: float | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.SpecError` on anything the
+        engine could not execute; cheap enough to run at admission."""
+        if self.kind not in JOB_KINDS:
+            raise SpecError(
+                f"unknown job kind {self.kind!r} "
+                f"(expected one of {', '.join(JOB_KINDS)})",
+                field="kind",
+            )
+        if self.priority not in PRIORITIES:
+            raise SpecError(
+                f"unknown priority {self.priority!r} "
+                f"(expected one of {', '.join(PRIORITIES)})",
+                field="priority",
+            )
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise SpecError("tenant must be a non-empty string",
+                            field="tenant")
+        if self.deadline is not None and self.deadline < 0:
+            raise SpecError(
+                f"deadline must be >= 0 seconds, not {self.deadline!r}",
+                field="deadline",
+            )
+        if not isinstance(self.payload, dict):
+            raise SpecError("payload must be a JSON object",
+                            field="payload")
+        if self.kind == "squash":
+            _validate_benchmark(self.payload.get("name"))
+        elif self.kind == "sweep":
+            names = self.payload.get("names") or ()
+            for name in names:
+                _validate_benchmark(name)
+            kind = self.payload.get("sweep_kind", "size")
+            if kind not in ("size", "time"):
+                raise SpecError(
+                    f"unknown sweep kind {kind!r} (size|time)",
+                    field="payload.sweep_kind",
+                )
+        elif self.kind == "verify":
+            if not self.payload.get("prefix"):
+                raise SpecError(
+                    "verify jobs need a saved-image prefix",
+                    field="payload.prefix",
+                )
+
+    def to_record(self) -> dict:
+        return {
+            "kind": self.kind,
+            "payload": dict(self.payload),
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "deadline": self.deadline,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "JobSpec":
+        return cls(
+            kind=record.get("kind", ""),
+            payload=dict(record.get("payload") or {}),
+            tenant=record.get("tenant", "default"),
+            priority=record.get("priority", "batch"),
+            deadline=record.get("deadline"),
+        )
+
+
+def _validate_benchmark(name) -> None:
+    from repro.workloads.mediabench import MEDIABENCH
+
+    if not isinstance(name, str) or name not in MEDIABENCH:
+        raise SpecError(
+            f"unknown benchmark {name!r} "
+            f"(expected one of {', '.join(MEDIABENCH)})",
+            field="name",
+        )
+
+
+@dataclass
+class Job:
+    """Engine-side bookkeeping for one accepted job."""
+
+    id: str
+    spec: JobSpec
+    state: str = "queued"
+    #: ``time.monotonic`` instants (admission, start, finish).
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Absolute monotonic expiry instant (None: no deadline).
+    deadline_at: float | None = None
+    #: JSON result payload (terminal ``done`` only).
+    result: dict | None = None
+    #: (error type name, message) for failed/expired jobs.
+    error: tuple[str, str] | None = None
+    #: True when this job was re-enqueued by journal recovery.
+    recovered: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def remaining(self, now: float) -> float | None:
+        """Seconds until expiry at *now* (None: no deadline)."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - now
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def _image_digest(result) -> str:
+    """SHA-256 over the saved image + descriptor bytes — the
+    byte-identity witness comparing a service result against a direct
+    ``api.squash_benchmark`` call."""
+    with tempfile.TemporaryDirectory(prefix="repro-job-") as tmp:
+        image_path, meta_path = result.save(f"{tmp}/image")
+        digest = hashlib.sha256()
+        for path in (image_path, meta_path):
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def _execute_squash(payload: dict) -> dict:
+    import repro.api as api
+
+    config = api.SquashConfig(theta=float(payload.get("theta", 0.0)))
+    bound = payload.get("bound")
+    if bound is not None:
+        config = config.with_buffer_bound(int(bound))
+    result = api.squash_benchmark(
+        payload["name"], float(payload.get("scale", 0.5)), config
+    )
+    return {
+        "name": payload["name"],
+        "baseline_words": result.baseline_words,
+        "total_words": result.footprint.total,
+        "reduction": result.reduction,
+        "regions": len(result.info.regions),
+        "image_digest": _image_digest(result),
+    }
+
+
+def _execute_sweep(payload: dict) -> dict:
+    import repro.api as api
+
+    thetas = payload.get("thetas")
+    spec = api.SweepSpec(
+        names=tuple(payload.get("names") or ()),
+        scale=float(payload.get("scale", 0.5)),
+        thetas=tuple(thetas) if thetas is not None else None,
+        kind=payload.get("sweep_kind", "size"),
+        parallel=bool(payload.get("parallel", False)),
+    )
+    rows = api.sweep(spec)
+    return {
+        "kind": spec.kind,
+        "rows": [repr(row) for row in rows],
+        "rows_digest": hashlib.sha256(
+            repr(rows).encode("utf-8")
+        ).hexdigest(),
+    }
+
+
+def _execute_verify(payload: dict) -> dict:
+    import repro.api as api
+
+    report = api.verify(payload["prefix"], deep=payload.get("deep", True))
+    return {"ok": report.ok, "report": report.render()}
+
+
+_EXECUTORS = {
+    "squash": _execute_squash,
+    "sweep": _execute_sweep,
+    "verify": _execute_verify,
+}
+
+
+def execute_job(spec: JobSpec) -> dict:
+    """Run *spec* through the facade and return its result payload.
+
+    The resolved ``cell_deadline`` is recorded in the payload so tests
+    (and the chaos harness) can assert that supervisor cells under
+    this job observed the deadline the engine propagated.
+    """
+    from repro import settings as _settings
+
+    result = _EXECUTORS[spec.kind](spec.payload)
+    result["cell_deadline"] = _settings.current().cell_deadline
+    return result

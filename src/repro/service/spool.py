@@ -1,0 +1,221 @@
+"""Filesystem submission spool: how ``repro submit`` reaches ``repro serve``.
+
+The service's cross-process transport is deliberately boring: a client
+writes one JSON request file into ``<root>/spool/`` (O_EXCL temp +
+atomic rename, so the server never reads a torn request) and then
+polls the job journal for the terminal record.  The serving process
+scans the spool, admits each request into its :class:`JobEngine`, and
+unlinks the file only *after* the job is journaled — a SIGKILL between
+admission and unlink re-presents the file on restart, where the
+journal's record of the id deduplicates it.  Shed requests are
+journaled as ``shed`` (with the retry-after hint) so the submitting
+process gets a typed answer instead of silence.
+
+No sockets means no partial-read protocol surface, and the SIGKILL
+chaos scenario (:mod:`repro.faultinject.servechaos`) can murder the
+server at any instant without a client-side hang: clients only ever
+wait on journal records with their own timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import secrets
+import time
+
+from repro.errors import ServiceOverloaded, SpecError
+from repro.obs.metrics import get_registry
+from repro.service.jobs import JobSpec, new_job_id
+
+__all__ = [
+    "SpoolClient",
+    "serve_forever",
+    "spool_dir",
+]
+
+_METRICS = get_registry()
+
+
+def spool_dir(root: pathlib.Path | str | None = None) -> pathlib.Path:
+    """The request spool under *root* (default: the resolved cache
+    dir, i.e. next to the store the journal uses)."""
+    from repro.analysis.parallel import cache_dir
+
+    base = pathlib.Path(root) if root is not None else cache_dir()
+    return base / "spool"
+
+
+class SpoolClient:
+    """Client half: write requests, poll the journal for answers."""
+
+    def __init__(self, root: pathlib.Path | str | None = None):
+        from repro.service.journal import JobJournal
+
+        self.root = spool_dir(root)
+        self.journal = JobJournal(
+            pathlib.Path(root) if root is not None else None
+        )
+
+    def submit(self, spec: JobSpec, job_id: str | None = None) -> str:
+        """Atomically spool one request; returns its job id."""
+        spec.validate()
+        job_id = job_id or new_job_id()
+        self.root.mkdir(parents=True, exist_ok=True)
+        request = {"id": job_id, "spec": spec.to_record()}
+        payload = json.dumps(request, sort_keys=True).encode("utf-8")
+        tmp = self.root / f".tmp-{os.getpid()}-{secrets.token_hex(4)}"
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.root / f"{job_id}.json")
+        _METRICS.inc("service.spool_submitted")
+        return job_id
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> dict:
+        """Poll the journal until *job_id* is terminal (or shed).
+
+        Returns the journal record; raises the matching typed error
+        for shed submissions and ``TimeoutError`` when the server
+        never answered (dead server, or a deadline longer than
+        *timeout*).
+        """
+        from repro.service.jobs import TERMINAL_STATES
+
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.journal.load(job_id)
+            if record is not None:
+                state = record.get("state")
+                if state == "shed":
+                    error = record.get("error") or ["", ""]
+                    raise ServiceOverloaded(
+                        error[1] if len(error) > 1 else "",
+                        reason="queue-full",
+                        retry_after=record.get("retry_after", 0.0),
+                    )
+                if state in TERMINAL_STATES:
+                    return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} not terminal after {timeout:.1f}s"
+                )
+            time.sleep(0.02)
+
+
+def _drain_spool(engine, spool: pathlib.Path) -> int:
+    """Admit every spooled request into *engine*; files are unlinked
+    after their job is journaled (or journaled as shed)."""
+    admitted = 0
+    try:
+        files = sorted(
+            path for path in spool.iterdir()
+            if path.suffix == ".json" and not path.name.startswith(".")
+        )
+    except OSError:
+        return 0
+    for path in files:
+        try:
+            request = json.loads(path.read_text())
+            job_id = request["id"]
+            spec = JobSpec.from_record(request.get("spec") or {})
+        except (OSError, ValueError, KeyError):
+            # A torn or foreign file: quarantine by rename so the scan
+            # loop never spins on it.
+            _METRICS.inc("service.spool_rejected")
+            _quarantine(path)
+            continue
+        if _already_known(engine, job_id):
+            path.unlink(missing_ok=True)
+            continue
+        try:
+            engine.submit(spec, job_id=job_id)
+            admitted += 1
+        except ServiceOverloaded as exc:
+            _journal_shed(engine, job_id, spec, exc)
+        except SpecError as exc:
+            _journal_reject(engine, job_id, spec, exc)
+        path.unlink(missing_ok=True)
+    return admitted
+
+
+def _already_known(engine, job_id: str) -> bool:
+    if job_id in engine._jobs:
+        return True
+    if engine.journal is not None:
+        return engine.journal.load(job_id) is not None
+    return False
+
+
+def _quarantine(path: pathlib.Path) -> None:
+    try:
+        path.rename(path.with_suffix(".rejected"))
+    except OSError:
+        path.unlink(missing_ok=True)
+
+
+def _journal_shed(engine, job_id, spec, exc: ServiceOverloaded) -> None:
+    """A shed spool request still gets a typed, persisted answer."""
+    if engine.journal is None:
+        return
+    from repro.service.jobs import Job
+
+    job = Job(id=job_id, spec=spec, state="shed")
+    job.error = (type(exc).__name__, str(exc))
+    engine.journal.record(job)
+
+
+def _journal_reject(engine, job_id, spec, exc: SpecError) -> None:
+    if engine.journal is None:
+        return
+    from repro.service.jobs import Job
+
+    job = Job(id=job_id, spec=spec, state="failed")
+    job.error = (type(exc).__name__, str(exc))
+    engine.journal.record(job)
+
+
+def serve_forever(
+    engine,
+    root: pathlib.Path | str | None = None,
+    poll_interval: float = 0.05,
+    max_jobs: int | None = None,
+    idle_exit: float | None = None,
+    should_stop=None,
+) -> int:
+    """The ``repro serve`` loop: spool scan -> engine, until told to stop.
+
+    Returns the number of jobs that reached a terminal state while
+    serving.  Exits when *should_stop* (the signal flag) fires, after
+    *max_jobs* terminal jobs, or after *idle_exit* seconds with an
+    empty spool, queue, and executor — whichever comes first.
+    """
+    spool = spool_dir(root)
+    spool.mkdir(parents=True, exist_ok=True)
+    terminal_seen: set[str] = set()
+    idle_since: float | None = None
+    while True:
+        if should_stop is not None and should_stop():
+            break
+        _drain_spool(engine, spool)
+        for job_id, job in list(engine._jobs.items()):
+            if job.terminal and job_id not in terminal_seen:
+                terminal_seen.add(job_id)
+        if max_jobs is not None and len(terminal_seen) >= max_jobs:
+            break
+        stats = engine.stats()
+        busy = stats["queued"] or stats["running"]
+        if busy:
+            idle_since = None
+        elif idle_exit is not None:
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            elif now - idle_since >= idle_exit:
+                break
+        time.sleep(poll_interval)
+    return len(terminal_seen)

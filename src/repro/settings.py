@@ -28,6 +28,7 @@ typed field.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, fields, replace
 from typing import Any, Callable, Iterator
@@ -205,6 +206,28 @@ class Settings:
     #: probing the disk again (``REPRO_STORE_BREAKER_COOLDOWN``).
     store_breaker_cooldown: float = 30.0
 
+    # -- job service --------------------------------------------------------
+    #: Bounded admission-queue depth of the job service
+    #: (``REPRO_SERVICE_QUEUE_DEPTH``); submissions beyond it are shed
+    #: with a typed ``ServiceOverloaded``.
+    service_queue_depth: int = 64
+    #: Concurrent job executions the service runs
+    #: (``REPRO_SERVICE_WORKERS``).
+    service_workers: int = 2
+    #: Max concurrently *running* jobs per tenant
+    #: (``REPRO_SERVICE_TENANT_CAP``), so one tenant cannot occupy
+    #: every execution slot.
+    service_tenant_cap: int = 1
+    #: Default per-job deadline in seconds (``REPRO_SERVICE_DEADLINE``;
+    #: None or 0 disables — jobs then run to completion).
+    service_deadline: float | None = None
+    #: Seconds a graceful drain waits for running jobs before shutting
+    #: down anyway (``REPRO_SERVICE_DRAIN_TIMEOUT``).
+    service_drain_timeout: float = 10.0
+    #: Persist job records through the crash-safe store journal
+    #: (``REPRO_SERVICE_JOURNAL``); off, jobs live only in memory.
+    service_journal: bool = True
+
     # -- observability ------------------------------------------------------
     #: Enable the structured trace layer (``REPRO_TRACE``).
     trace: bool = False
@@ -245,6 +268,14 @@ ENV_KNOBS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "store_breaker_cooldown": (
         "REPRO_STORE_BREAKER_COOLDOWN", _parse_backoff
     ),
+    "service_queue_depth": ("REPRO_SERVICE_QUEUE_DEPTH", _parse_workers),
+    "service_workers": ("REPRO_SERVICE_WORKERS", _parse_workers),
+    "service_tenant_cap": ("REPRO_SERVICE_TENANT_CAP", _parse_workers),
+    "service_deadline": ("REPRO_SERVICE_DEADLINE", _parse_deadline),
+    "service_drain_timeout": (
+        "REPRO_SERVICE_DRAIN_TIMEOUT", _parse_backoff
+    ),
+    "service_journal": ("REPRO_SERVICE_JOURNAL", _parse_strict_bool),
     "trace": ("REPRO_TRACE", _parse_bool),
     "trace_buffer": ("REPRO_TRACE_BUFFER", _parse_int),
 }
@@ -253,9 +284,19 @@ ENV_KNOBS: dict[str, tuple[str, Callable[[str], Any]]] = {
 # chaos harness swaps it to propagate armed fault specs to workers.
 _ENVIRON = os.environ
 
-#: Stack of partial overrides installed by :func:`use_settings`;
-#: later entries win.
-_OVERRIDES: list[dict[str, Any]] = []
+#: Per-thread stack of partial overrides installed by
+#: :func:`use_settings`; later entries win.  Thread-local because the
+#: job service scopes ``cell_deadline`` per executing job from
+#: concurrent worker threads — a shared stack would let one thread pop
+#: another's frame.
+_OVERRIDES = threading.local()
+
+
+def _overrides_stack() -> list[dict[str, Any]]:
+    stack = getattr(_OVERRIDES, "stack", None)
+    if stack is None:
+        stack = _OVERRIDES.stack = []
+    return stack
 
 
 def from_env() -> Settings:
@@ -285,9 +326,10 @@ def from_env() -> Settings:
 def current() -> Settings:
     """The resolved settings snapshot: overrides > env > defaults."""
     settings = from_env()
-    if _OVERRIDES:
+    stack = _overrides_stack()
+    if stack:
         merged: dict[str, Any] = {}
-        for layer in _OVERRIDES:
+        for layer in stack:
             merged.update(layer)
         settings = replace(settings, **merged)
     return settings
@@ -327,8 +369,8 @@ def use_settings(**overrides: Any) -> Iterator[Settings]:
         raise TypeError(
             f"unknown settings field(s): {', '.join(sorted(unknown))}"
         )
-    _OVERRIDES.append(dict(overrides))
+    _overrides_stack().append(dict(overrides))
     try:
         yield current()
     finally:
-        _OVERRIDES.pop()
+        _overrides_stack().pop()

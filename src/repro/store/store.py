@@ -88,6 +88,7 @@ NAMESPACES = {
     "stage": "stages",
     "image": "images",
     "profile": "profiles",
+    "job": "jobs",
 }
 
 #: Directory names under the root that are never ref namespaces.

@@ -17,12 +17,15 @@ class TestSurface:
         is fine, but every change must be deliberate (update this
         snapshot in the same commit)."""
         assert sorted(api.__all__) == [
+            "JobSpec",
             "LoadedSquash",
             "RunOutcome",
             "RunSpec",
             "SquashConfig",
             "SquashResult",
             "SweepSpec",
+            "job_result",
+            "job_status",
             "load_squashed",
             "run",
             "squash",
@@ -30,6 +33,7 @@ class TestSurface:
             "store_gc",
             "store_stats",
             "store_verify",
+            "submit",
             "sweep",
             "verify",
         ]
@@ -38,6 +42,9 @@ class TestSurface:
         assert sorted(repro._EXPORTS) == [
             "ArtifactStore",
             "BufferStrategy",
+            "JobEngine",
+            "JobExpired",
+            "JobSpec",
             "LoadedSquash",
             "MEDIABENCH",
             "Machine",
@@ -47,7 +54,9 @@ class TestSurface:
             "RunOutcome",
             "RunResult",
             "RunSpec",
+            "ServiceOverloaded",
             "Settings",
+            "SpecError",
             "SquashConfig",
             "SquashResult",
             "Stage",
@@ -61,6 +70,8 @@ class TestSurface:
             "get_registry",
             "get_store",
             "get_tracer",
+            "job_result",
+            "job_status",
             "load_squashed",
             "mediabench_program",
             "mediabench_spec",
@@ -71,6 +82,7 @@ class TestSurface:
             "store_gc",
             "store_stats",
             "store_verify",
+            "submit",
             "sweep",
             "use_settings",
             "verify",
@@ -105,6 +117,63 @@ class TestDeprecations:
             warnings.simplefilter("error", DeprecationWarning)
             from repro.core import squash as core_squash
         assert core_squash.__name__ == "squash_program"
+
+
+class TestErrorPaths:
+    """Malformed specs come back as typed SpecError, not stack spew."""
+
+    def test_unknown_benchmark_name(self):
+        from repro.errors import SpecError, SquashError
+
+        with pytest.raises(SpecError, match="unknown benchmark") as exc:
+            api.squash_benchmark("quake3")
+        assert exc.value.field == "name"
+        assert isinstance(exc.value, SquashError)
+        assert isinstance(exc.value, ValueError)
+
+    def test_bad_scale(self):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError, match="scale") as exc:
+            api.squash_benchmark("adpcm", scale=-1.0)
+        assert exc.value.field == "scale"
+
+    def test_run_rejects_bad_max_steps(self, squashed):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError, match="max_steps"):
+            api.run(squashed, api.RunSpec(max_steps=0))
+        with pytest.raises(SpecError, match="max_steps"):
+            api.run(squashed, api.RunSpec(max_steps="lots"))
+
+    def test_run_rejects_non_integer_inputs(self, squashed):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError, match="input_words") as exc:
+            api.run(squashed, api.RunSpec(input_words=(1, "two", 3)))
+        assert exc.value.field == "input_words"
+        with pytest.raises(SpecError, match="input_words"):
+            api.run(squashed, api.RunSpec(input_words=42))
+
+    def test_sweep_rejects_unknown_names(self):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError, match="unknown benchmark") as exc:
+            api.sweep(api.SweepSpec(names=("adpcm", "doom")))
+        assert exc.value.field == "names"
+
+    def test_sweep_rejects_bad_thetas(self):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError, match="thetas"):
+            api.sweep(api.SweepSpec(names=("adpcm",), thetas=(-0.5,)))
+
+    def test_sweep_kind_error_is_typed(self):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError) as exc:
+            api.sweep(api.SweepSpec(names=("adpcm",), kind="bogus"))
+        assert exc.value.field == "kind"
 
 
 @pytest.fixture(scope="module")

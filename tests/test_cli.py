@@ -50,3 +50,29 @@ def test_safe(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_jobs_empty_journal(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out = run_cli(capsys, "jobs")
+    assert "journal is empty" in out
+
+
+def test_submit_serve_jobs_round_trip(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out = run_cli(
+        capsys, "submit", "squash", "--names", "adpcm",
+        "--scale", "0.2", "--theta", "0.0001",
+        "--tenant", "cli-test",
+    )
+    assert "submitted" in out
+    run_cli(capsys, "serve", "--max-jobs", "1", "--idle-exit", "10")
+    out = run_cli(capsys, "jobs")
+    assert "done" in out
+    assert "cli-test" in out
+
+
+def test_submit_rejects_unknown_kind(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["submit", "frobnicate"]) == 2
+    assert "unknown job kind" in capsys.readouterr().out

@@ -195,6 +195,52 @@ class TestBreaker:
         assert not breaker.is_open("x")
 
 
+class TestInterrupt:
+    def test_keyboard_interrupt_discards_lease_and_reraises(self):
+        """Ctrl-C mid-sweep must propagate, cancel the in-flight
+        futures, and hand the lease back through discard — never park
+        a mid-task pool warm for the next run to inherit."""
+        from repro.obs.metrics import get_registry
+        from repro.resilience.workerpool import reset_pool_manager
+
+        reset_pool_manager()
+        metrics = get_registry()
+        discards_before = metrics.counter("pool.discards").value
+        interrupts_before = metrics.counter(
+            "supervisor.interrupted"
+        ).value
+
+        def interrupt(task, result):
+            raise KeyboardInterrupt
+
+        tasks = _tasks(*({"op": "ok", "value": i} for i in range(4)))
+        sup = Supervisor(work, _config(), on_result=interrupt)
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                sup.run(tasks)
+            assert get_pool_manager().parked_count() == 0
+            assert (
+                metrics.counter("pool.discards").value
+                == discards_before + 1
+            )
+            assert (
+                metrics.counter("supervisor.interrupted").value
+                == interrupts_before + 1
+            )
+        finally:
+            reset_pool_manager()
+
+    def test_serial_interrupt_propagates(self):
+        def interrupt(task, result):
+            raise KeyboardInterrupt
+
+        sup = Supervisor(
+            work, _config(), on_result=interrupt
+        )
+        with pytest.raises(KeyboardInterrupt):
+            sup.run(_tasks({"op": "ok", "value": 1}), parallel=False)
+
+
 class TestRetryPolicy:
     def test_delay_is_deterministic(self):
         policy = RetryPolicy()
