@@ -1,17 +1,18 @@
 #!/usr/bin/env python
 """Decode-path benchmark: decoder backends and the parallel harness.
 
-Produces ``BENCH_decode.json`` (format **v2**) with three sections:
+Produces ``BENCH_decode.json`` (format **v3**) with three sections:
 
-* ``decoder`` -- throughput and latency of every registered decode
+* ``decoder`` -- one subsection per codec variant (``baseline``,
+  ``ctx1``): throughput and latency of every registered decode
   backend (``reference``, ``table``, ``vector``) over the pooled
   MediaBench streams: symbols/sec, regions/sec, and p50/p99 per-region
   decode latency.  Reference and table decode region-by-region, so
   their latency is per call; the vector backend decodes each stream's
   regions in one lane-parallel batch, so its per-region latency is the
   batch time amortized over the regions (recorded as such in
-  ``latency_model``).  All backends must produce byte-identical items
-  -- the run aborts on digest divergence.
+  ``latency_model``).  Within a variant all backends must produce
+  byte-identical items -- the run aborts on digest divergence.
 * ``fig7_time_sweep`` -- wall-clock of the full ``fig7_time_rows``
   sweep: the serial driver vs. the parallel cached harness at 1, 2,
   and ``effective_bench_workers()`` workers (deduplicated), each cold
@@ -51,16 +52,19 @@ if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
 DECODER_REPEATS = 3
-BENCH_VERSION = 2
+BENCH_VERSION = 3
 
 #: Decoder backends measured, in report order.
 BACKENDS = ("reference", "table", "vector")
+
+#: Codec variants the decoder section is measured under.
+VARIANTS = ("baseline", "ctx1")
 
 
 # -- decoder microbenchmark --------------------------------------------------
 
 
-def _build_pools(scale: float):
+def _build_pools(scale: float, variant: str = ""):
     from repro.analysis.experiments import squash_benchmark
     from repro.compress.codec import ProgramCodec
     from repro.core.pipeline import SquashConfig
@@ -68,7 +72,9 @@ def _build_pools(scale: float):
 
     pools = []
     for name in MEDIABENCH:
-        result = squash_benchmark(name, scale, SquashConfig(theta=1.0))
+        result = squash_benchmark(
+            name, scale, SquashConfig(theta=1.0, codec_variant=variant)
+        )
         blob = result.info.blob
         codec = ProgramCodec.from_table_words(list(blob.table_words))
         pools.append(
@@ -147,8 +153,8 @@ def _percentile(samples, fraction: float) -> float:
     return ordered[index]
 
 
-def bench_decoder(scale: float) -> dict:
-    pools = _build_pools(scale)
+def bench_decoder(scale: float, variant: str = "") -> dict:
+    pools = _build_pools(scale, variant)
     report: dict = {"streams": len(pools)}
     digests = {}
     for backend in BACKENDS:
@@ -405,22 +411,31 @@ def main() -> None:
         "python": platform.python_version(),
         "cpus": os.cpu_count(),
         "scale": args.scale,
-        "decoder": bench_decoder(args.scale),
+        "codec_variants": list(VARIANTS),
+        "decoder": {
+            variant: bench_decoder(args.scale, variant)
+            for variant in VARIANTS
+        },
     }
-    decoder = report["decoder"]
-    print(
-        "decoder: {reference[symbols_per_second]:,} ref -> "
-        "{table[symbols_per_second]:,} table -> "
-        "{vector[symbols_per_second]:,} vector sym/s "
-        "(table {speedup_table_over_reference}x, "
-        "vector {speedup_vector_over_table}x over table)".format(**decoder)
-    )
-    if args.assert_vector_faster and (
-        decoder["vector"]["symbols_per_second"]
-        <= decoder["table"]["symbols_per_second"]
-    ):
-        print("FAIL: vector backend is not faster than table")
-        sys.exit(1)
+    for variant, decoder in report["decoder"].items():
+        print(
+            "decoder[{v}]: {reference[symbols_per_second]:,} ref -> "
+            "{table[symbols_per_second]:,} table -> "
+            "{vector[symbols_per_second]:,} vector sym/s "
+            "(table {speedup_table_over_reference}x, "
+            "vector {speedup_vector_over_table}x over table)".format(
+                v=variant, **decoder
+            )
+        )
+        if args.assert_vector_faster and (
+            decoder["vector"]["symbols_per_second"]
+            <= decoder["table"]["symbols_per_second"]
+        ):
+            print(
+                f"FAIL: vector backend is not faster than table "
+                f"under {variant}"
+            )
+            sys.exit(1)
     if not args.skip_sweep:
         report["fig7_time_sweep"] = bench_sweep(args.scale)
         sweep = report["fig7_time_sweep"]

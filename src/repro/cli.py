@@ -201,9 +201,15 @@ def _cmd_safe(args) -> None:
     )
 
 
+def _squash_config(args) -> SquashConfig:
+    return SquashConfig(
+        theta=args.theta, codec_variant=args.variant
+    ).with_buffer_bound(args.bound)
+
+
 def _cmd_squash(args) -> None:
     name = args.names[0]
-    config = SquashConfig(theta=args.theta).with_buffer_bound(args.bound)
+    config = _squash_config(args)
     result = squash_benchmark(name, args.scale, config)
     fp = result.footprint
     print(f"{name} at theta={args.theta}, K={args.bound} bytes:")
@@ -225,14 +231,65 @@ def _cmd_squash(args) -> None:
     if args.explain and result.stage_report is not None:
         print()
         print(result.stage_report.render())
+    if args.explain:
+        _print_codec_contexts(result)
+
+
+def _print_codec_contexts(result) -> None:
+    """Per-context table stats of a squashed image (``--explain``)."""
+    from repro.isa.fields import FieldKind
+
+    integrity = result.descriptor.integrity
+    contexts = integrity.contexts if integrity is not None else []
+    if not contexts:
+        return
+    print()
+    rows = []
+    for record in contexts:
+        try:
+            kind_name = FieldKind(record.kind).name
+        except ValueError:
+            kind_name = str(record.kind)
+        rows.append([
+            kind_name, record.ctx,
+            record.end_bit - record.start_bit,
+            f"{record.crc & 0xFFFFFFFF:#010x}",
+        ])
+    print(
+        ascii_table(
+            ["stream", "context", "table bits", "seal"],
+            rows,
+            title=f"codec context tables ({len(rows)})",
+        )
+    )
+
+
+def _print_registries() -> None:
+    """Every pluggable registry of the pipeline, by name."""
+    from repro.compress.codec import CODEC_VARIANTS, DECODE_BACKENDS
+    from repro.core.classify import BUFFER_STRATEGIES, RESTORE_SCHEMES
+    from repro.core.plan import REGION_STRATEGIES
+    from repro.squeeze.pipeline import SQUEEZE_PASSES
+
+    print("registries:")
+    for label, registry in (
+        ("region strategies", REGION_STRATEGIES),
+        ("buffer strategies", BUFFER_STRATEGIES),
+        ("restore schemes", RESTORE_SCHEMES),
+        ("squeeze passes", SQUEEZE_PASSES),
+        ("codec variants", CODEC_VARIANTS),
+        ("decode backends", DECODE_BACKENDS),
+    ):
+        print(f"  {label}: {', '.join(registry.names())}")
 
 
 def _cmd_stages(args) -> None:
-    """Per-stage wall time and counters for each selected benchmark."""
+    """Registered pipeline plugins, then per-stage wall time and
+    counters for each selected benchmark."""
+    _print_registries()
+    print()
     for name in args.names:
-        config = SquashConfig(theta=args.theta).with_buffer_bound(
-            args.bound
-        )
+        config = _squash_config(args)
         result = squash_benchmark(name, args.scale, config)
         print(f"{name} (theta={args.theta}, scale={args.scale}):")
         if result.stage_report is not None:
@@ -256,9 +313,7 @@ def _traced_outcome(args):
 
     target = args.prefix
     if target in MEDIABENCH:
-        config = SquashConfig(theta=args.theta).with_buffer_bound(
-            args.bound
-        )
+        config = _squash_config(args)
         result = squash_benchmark(target, args.scale, config)
         bench = mediabench_program(target, scale=args.scale)
         return api.run(
@@ -351,6 +406,7 @@ def _cmd_faultsweep(args) -> int:
         report = sweep_program(
             name, args.scale, faults=args.faults, seed=args.seed,
             theta=args.theta, bound=args.bound,
+            codec_variant=args.variant,
         )
         print(f"{name}:")
         print(report.render())
@@ -631,6 +687,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--bound", type=int, default=512,
         help="buffer bound in bytes for the squash command",
+    )
+    parser.add_argument(
+        "--variant", default="",
+        help="codec variant from the codec registry (squash/stages/"
+        "faultsweep commands; default: the config's own codec, or "
+        "REPRO_CODEC_VARIANT)",
     )
     parser.add_argument(
         "--run", action="store_true",

@@ -15,11 +15,14 @@ step.  The per-symbol work collapses into a handful of array ops:
   one non-negative ``int64`` (:data:`_LN_SHIFT`/:data:`_SYM_SHIFT`
   layout), so one gather resolves a symbol, advances the bit cursor,
   and transitions the state machine.  The state machine mirrors the
-  opcode -> field-plan structure: state 0 decodes the opcode stream and
-  fans out (via the decoded symbol) to the per-opcode chain of field
-  states; the sentinel routes to a terminal state that self-loops
-  consuming zero bits, so finished lanes spin harmlessly until the
-  batch drains.
+  opcode -> field-plan structure: states ``0..C-1`` decode the opcode
+  stream (one LUT bank per opcode context of the codec's
+  :class:`~repro.compress.model.CodecModel`; C = 1 for order-0) and
+  fan out (via the decoded symbol) to the per-opcode chain of field
+  states, which re-enter the opcode context selected by the opcode
+  just decoded; the sentinel routes to a terminal state that
+  self-loops consuming zero bits, so finished lanes spin harmlessly
+  until the batch drains.
 * Negative LUT entries are markers into a side table of *specials*:
   codewords longer than K (resolved scalar through the same
   ``_decode_overflow`` as the sequential path), streams with no code,
@@ -106,9 +109,15 @@ class VectorDecoder:
 
     Built once per :class:`ProgramCodec` (cached on the instance by
     :func:`get_decoder`) and shared by every batch the codec joins.
-    State 0 decodes the opcode stream; each distinct *suffix* of an
-    opcode's field plan gets one state (suffix sharing keeps the
-    machine small); the last state is terminal.
+    States ``0 .. C-1`` decode the opcode stream — one LUT bank per
+    opcode *context* of the codec's model (C = 1 for order-0 codecs,
+    reducing to the classic single opcode state); each distinct
+    ``(field-plan suffix, return context)`` pair gets one state
+    (suffix sharing keeps the machine small, and the return context is
+    the opcode context the chain re-enters, determined by the opcode
+    just decoded); the last state is terminal.  Conditioned *field*
+    streams are not expressible — the batch gate routes such codecs to
+    the sequential path.
     """
 
     def __init__(self, codec) -> None:
@@ -121,7 +130,9 @@ class VectorDecoder:
         self.state_next: dict[int, int] = {}
         #: opcode symbol -> ("ok", local nsbase) | ("term",)
         #: | ("badop",) | ("missing", kind); consulted when an opcode
-        #: resolves through the scalar overflow path.
+        #: resolves through the scalar overflow path.  Routing depends
+        #: only on the decoded symbol, so it is shared by every opcode
+        #: context bank.
         self.op_route: dict[int, tuple] = {}
         #: opcode -> field-kind tuple, for batch assembly (index = op).
         self.plan_fields: list[tuple[FieldKind, ...] | None] = [None] * 64
@@ -132,26 +143,45 @@ class VectorDecoder:
         #: the cache is bounded by the program's distinct instructions.
         self.instr_intern: dict[tuple, CodecInstr] = {}
 
+        op_code = codes.get(FieldKind.OPCODE)
+        op_model = (
+            codec.stream_model(FieldKind.OPCODE)
+            if isinstance(op_code, CanonicalCode)
+            else None
+        )
+        op_tables = op_model.tables if op_model is not None else ()
+        #: Opcode states 0..C-1, one per opcode context.
+        self.n_op_states = max(1, len(op_tables))
+        #: The lane's first state: the context a region-initial opcode
+        #: decodes in (a sentinel conventionally precedes every region).
+        self.start_state = (
+            op_model.context_of(OP_SENTINEL) if op_model is not None else 0
+        )
+
         suffix_ids: dict[tuple, int] = {}
         suffix_order: list[tuple] = []
+        n_op_states = self.n_op_states
 
-        def state_for(suffix: tuple) -> int:
+        def state_for(suffix: tuple, ret_ctx: int) -> int:
             if not suffix:
-                return 0
-            sid = suffix_ids.get(suffix)
+                return ret_ctx
+            key = (suffix, ret_ctx)
+            sid = suffix_ids.get(key)
             if sid is None:
-                sid = len(suffix_order) + 1
-                suffix_ids[suffix] = sid
-                suffix_order.append(suffix)
+                sid = n_op_states + len(suffix_order)
+                suffix_ids[key] = sid
+                suffix_order.append(key)
                 # Register the whole chain so ids exist before blocks
                 # are built.
-                state_for(suffix[1:])
+                state_for(suffix[1:], ret_ctx)
             return sid
 
-        op_code = codes.get(FieldKind.OPCODE)
         plans: dict[int, tuple] = {}
-        if isinstance(op_code, CanonicalCode):
-            for sym in op_code.values:
+        if op_model is not None:
+            op_symbols = sorted(
+                {sym for table in op_tables for sym in table.values}
+            )
+            for sym in op_symbols:
                 if sym == OP_SENTINEL:
                     self.op_route[sym] = ("term",)
                     continue
@@ -175,11 +205,15 @@ class VectorDecoder:
                     self.op_route[sym] = ("missing", missing)
                     continue
                 plans[sym] = kinds
-                self.op_route[sym] = ("ok", state_for(kinds) << VECTOR_K)
+                ret_ctx = op_model.context_of(sym)
+                self.op_route[sym] = (
+                    "ok",
+                    state_for(kinds, ret_ctx) << VECTOR_K,
+                )
                 if 0 <= sym < 64:
                     self.plan_fields[sym] = kinds
 
-        self.term_id = len(suffix_order) + 1
+        self.term_id = n_op_states + len(suffix_order)
         self.nstates = self.term_id + 1
         term_base = self.term_id << VECTOR_K
 
@@ -227,15 +261,23 @@ class VectorDecoder:
 
         blocks = []
 
-        # State 0: the opcode stream.
-        if isinstance(op_code, CanonicalCode):
-            syms, lns, none, k, overflow = expanded(op_code)
-            self.state_stream[0] = (k, overflow)
+        # Opcode states 0..C-1: one LUT bank per opcode context, all
+        # sharing the symbol-keyed route table (a context changes which
+        # codewords decode to which symbols, never what a symbol means).
+        if op_model is not None:
             # Sized past 64 so symbols outside the 6-bit opcode space
             # (possible in hand-built codes) still index safely; they
             # route to "badop" markers below.
             route_next = _np.zeros(
-                max(64, max(op_code.values) + 1), _np.int64
+                max(
+                    64,
+                    max(
+                        (max(t.values) for t in op_tables if t.values),
+                        default=0,
+                    )
+                    + 1,
+                ),
+                _np.int64,
             )
             problem_syms = []
             for sym, route in self.op_route.items():
@@ -245,38 +287,45 @@ class VectorDecoder:
                     route_next[sym] = term_base
                 else:
                     problem_syms.append(sym)
-            block = (
-                (lns << _LN_SHIFT)
-                | (syms << _SYM_SHIFT)
-                | route_next[syms]
-            )
-            if none.any():
-                block[none] = marker(("ovfl", 0))
-            for sym in problem_syms:
-                route = self.op_route[sym]
-                hit = (syms == sym) & ~none
-                if not hit.any():
-                    continue
-                ln = int(lns[hit][0])
-                if route[0] == "badop":
-                    block[hit] = marker(("badop", sym, ln))
-                else:
-                    block[hit] = marker(
-                        ("missing_plan", sym, ln, route[1])
-                    )
+            for ctx, table in enumerate(op_tables):
+                syms, lns, none, k, overflow = expanded(table)
+                self.state_stream[ctx] = (k, overflow)
+                block = (
+                    (lns << _LN_SHIFT)
+                    | (syms << _SYM_SHIFT)
+                    | route_next[syms]
+                )
+                if none.any():
+                    block[none] = marker(("ovfl", ctx))
+                for sym in problem_syms:
+                    route = self.op_route[sym]
+                    hit = (syms == sym) & ~none
+                    if not hit.any():
+                        continue
+                    ln = int(lns[hit][0])
+                    if route[0] == "badop":
+                        block[hit] = marker(("badop", sym, ln))
+                    else:
+                        block[hit] = marker(
+                            ("missing_plan", sym, ln, route[1])
+                        )
+                blocks.append(block)
         else:
-            block = _np.full(
-                1 << VECTOR_K,
-                marker(("missing_stream", FieldKind.OPCODE)),
-                _np.int64,
+            blocks.append(
+                _np.full(
+                    1 << VECTOR_K,
+                    marker(("missing_stream", FieldKind.OPCODE)),
+                    _np.int64,
+                )
             )
-        blocks.append(block)
 
-        # Field states, one per live plan suffix.
-        for sid, suffix in enumerate(suffix_order, start=1):
+        # Field states, one per live (plan suffix, return context).
+        for sid, (suffix, ret_ctx) in enumerate(
+            suffix_order, start=n_op_states
+        ):
             kind = suffix[0]
             code = codes.get(kind)
-            nxt = state_for(suffix[1:]) << VECTOR_K
+            nxt = state_for(suffix[1:], ret_ctx) << VECTOR_K
             self.state_next[sid] = nxt
             if not isinstance(code, CanonicalCode):
                 blocks.append(
@@ -374,8 +423,9 @@ def decode_batch(jobs) -> list[list[tuple[list[CodecInstr], int]]]:
     Returns one ``[(items, bits), ...]`` list per job, in order.  On
     malformed input raises the error of the lowest-indexed failing
     region (the error a sequential in-order loop would raise first).
-    Jobs the vector machine cannot express (dictionary coder, missing
-    numpy) silently take the sequential table path.
+    Jobs the vector machine cannot express (dictionary coder,
+    conditioned field streams, missing numpy) silently take the
+    sequential table path.
 
     Cyclic GC is deferred for the duration of the batch: assembling
     ~10^5 result objects in one burst otherwise triggers repeated
@@ -397,7 +447,14 @@ def _decode_batch(jobs) -> list[list[tuple[list[CodecInstr], int]]]:
     results: list = [None] * len(jobs)
     vector_jobs = []
     for j, (codec, words, offsets) in enumerate(jobs):
-        if not HAVE_NUMPY or codec.coder != "huffman":
+        conditioned_fields = any(
+            k is not FieldKind.OPCODE for k in codec.models
+        )
+        if (
+            not HAVE_NUMPY
+            or codec.coder != "huffman"
+            or conditioned_fields
+        ):
             results[j] = _sequential_job(codec, words, offsets)
         elif not offsets:
             results[j] = []
@@ -430,9 +487,12 @@ def _chase(chunk, results) -> None:
     pos0_list: list[int] = []
     limit_list: list[int] = []
     local_limits: list[int] = []
+    local_starts: list[int] = []
     lane_state0: list[int] = []
     term_list: list[int] = []
     lane_spans: list[tuple[int, int]] = []  # (first lane, count) / job
+    job_bit_bases: list[int] = []
+    job_limits: list[int] = []
     pad = _np.zeros(_PAD_WORDS, _np.uint64)
     for (_, codec, words, offsets), dec, sbase in zip(
         chunk, decoders, state_bases
@@ -441,12 +501,15 @@ def _chase(chunk, results) -> None:
         arrays.append(pad)
         base_bits = word_base * 32
         hard_limit = len(words) * 32
+        job_bit_bases.append(base_bits)
+        job_limits.append(hard_limit)
         lane_spans.append((len(pos0_list), len(offsets)))
         for off in offsets:
             pos0_list.append(base_bits + off)
             limit_list.append(base_bits + hard_limit)
             local_limits.append(hard_limit)
-            lane_state0.append(sbase << VECTOR_K)
+            local_starts.append(off)
+            lane_state0.append((sbase + dec.start_state) << VECTOR_K)
             term_list.append((sbase + dec.term_id) << VECTOR_K)
         word_base += len(words) + _PAD_WORDS
     arrays.append(_np.zeros(1, _np.uint64))  # final dword pair partner
@@ -462,13 +525,14 @@ def _chase(chunk, results) -> None:
     errors: list[BaseException | None] = [None] * nlanes
 
     # Lanes starting past their stream cannot even gather a window
-    # safely; the sequential path truncates on their first symbol, so
-    # pre-record exactly that error.
+    # safely; the sequential path truncates on its very first read,
+    # naming the (out-of-range) start position, so pre-record exactly
+    # that error.
     early = pos > limits
     if early.any():
         for i in _np.nonzero(early)[0]:
             i = int(i)
-            errors[i] = _truncated(local_limits[i])
+            errors[i] = _truncated(local_starts[i])
             pos[i] = limits[i]
             state[i] = term_base[i]
 
@@ -497,6 +561,8 @@ def _chase(chunk, results) -> None:
                 specials,
                 decoders,
                 state_bases,
+                job_bit_bases,
+                job_limits,
             )
         meta_log.append(meta)
         state_log.append(state)
@@ -624,7 +690,8 @@ def _badop_error(sym: int) -> ValueError:
 
 
 def _patch_specials(
-    meta, pos, gwords_list, specials, decoders, state_bases
+    meta, pos, gwords_list, specials, decoders, state_bases,
+    bit_bases, job_limits,
 ):
     """Resolve negative LUT entries scalar, in place.
 
@@ -650,11 +717,23 @@ def _patch_specials(
             acc = _peek_bits(gwords_list, int(pos[i]), max_len)
             try:
                 sym, ln = _decode_overflow(acc, max_len, k, overflow)
-            except CorruptBlobError as exc:
-                deferred.append((i, exc))
+            except CorruptBlobError:
+                # Mirror the sequential path's shapes: truncation wins
+                # when the probe crosses the stream end (the window
+                # only saw zero padding); otherwise the longest-code
+                # error carries the give-up position.
+                local_end = int(pos[i]) - bit_bases[j] + max_len
+                if local_end > job_limits[j]:
+                    err: BaseException = _truncated(job_limits[j])
+                else:
+                    err = CorruptBlobError(
+                        "corrupt bitstream: ran past longest code",
+                        bit_offset=local_end,
+                    )
+                deferred.append((i, err))
                 meta[i] = term
                 continue
-            if sid == 0:
+            if sid < dec.n_op_states:
                 route = dec.op_route[sym]
                 if route[0] == "ok":
                     nxt = route[1] + (sbase << VECTOR_K)

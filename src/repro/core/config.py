@@ -41,12 +41,30 @@ class SquashConfig:
     #: or "whole_function" (the future-work alternative of Section 9).
     region_strategy: str = "dfs"
     text_base: int = TEXT_BASE
+    #: Codec variant name from :data:`repro.compress.codec.
+    #: CODEC_VARIANTS` ("" keeps the explicit :attr:`codec` object).
+    #: Resolution order at encode time: this field, then the
+    #: ``REPRO_CODEC_VARIANT`` setting, then :attr:`codec`; unknown
+    #: names warn once and fall back to ``baseline``.
+    codec_variant: str = ""
 
     def with_theta(self, theta: float) -> "SquashConfig":
         return replace(self, theta=theta)
 
     def with_buffer_bound(self, nbytes: int) -> "SquashConfig":
         return replace(self, cost=self.cost.with_buffer_bound(nbytes))
+
+    def effective_codec(self) -> CodecConfig:
+        """The :class:`CodecConfig` the encoder actually uses:
+        :attr:`codec_variant` when set, else the ``REPRO_CODEC_VARIANT``
+        setting, else the explicit :attr:`codec` object."""
+        from repro import settings as _settings
+        from repro.compress.codec import resolve_codec_variant
+
+        variant = self.codec_variant or _settings.current().codec_variant
+        if variant:
+            return resolve_codec_variant(variant)
+        return self.codec
 
 
 #: The rewriter consumes the same knobs the pipeline exposes.  Keeping

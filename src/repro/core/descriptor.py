@@ -13,7 +13,11 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.core.costmodel import CostModel
-from repro.core.integrity import ImageIntegrity, RegionIntegrity
+from repro.core.integrity import (
+    ContextIntegrity,
+    ImageIntegrity,
+    RegionIntegrity,
+)
 
 
 class BufferStrategy(enum.Enum):
@@ -181,6 +185,12 @@ def descriptor_from_dict(data: dict) -> SquashDescriptor:
         integrity = dict(integrity)
         integrity["regions"] = [
             RegionIntegrity(**region) for region in integrity["regions"]
+        ]
+        # Descriptors written before the CodecModel layer carry no
+        # per-context seals; default to the unsealed form.
+        integrity["contexts"] = [
+            ContextIntegrity(**ctx)
+            for ctx in integrity.get("contexts", ())
         ]
         data["integrity"] = ImageIntegrity(**integrity)
     return SquashDescriptor(**data)

@@ -21,10 +21,11 @@ from dataclasses import dataclass, field
 from typing import Sequence
 from zlib import crc32
 
-from repro.errors import CorruptBlobError, OffsetTableError
+from repro.errors import CodecTableError, CorruptBlobError, OffsetTableError
 
 __all__ = [
     "RegionIntegrity",
+    "ContextIntegrity",
     "ImageIntegrity",
     "words_crc",
     "bytes_crc",
@@ -32,6 +33,7 @@ __all__ = [
     "blob_integrity",
     "check_offset_table",
     "check_area_crc",
+    "check_context_seals",
 ]
 
 
@@ -91,6 +93,25 @@ class RegionIntegrity:
 
 
 @dataclass
+class ContextIntegrity:
+    """Checksum of one context table's bit range in the table area.
+
+    ``kind`` is the stream's :class:`~repro.isa.fields.FieldKind` value
+    (stored as an int so the descriptor stays JSON-plain) and ``ctx``
+    the context id within that stream; order-0 streams contribute one
+    entry with ``ctx`` 0.  A per-context seal lets the verifier name
+    *which* table of a context-modeled codec is damaged instead of just
+    failing the whole-area CRC.
+    """
+
+    kind: int
+    ctx: int
+    start_bit: int
+    end_bit: int
+    crc: int
+
+
+@dataclass
 class ImageIntegrity:
     """Checksums over every trusted area of a squashed image."""
 
@@ -100,6 +121,9 @@ class ImageIntegrity:
     table_bits: int
     stream_bits: int
     regions: list[RegionIntegrity] = field(default_factory=list)
+    #: Per-context seals over the table area (empty for pre-CodecModel
+    #: images, which then only get the whole-area ``table_crc`` check).
+    contexts: list[ContextIntegrity] = field(default_factory=list)
 
 
 def blob_integrity(blob) -> ImageIntegrity:
@@ -120,6 +144,16 @@ def blob_integrity(blob) -> ImageIntegrity:
                 crc=bit_range_crc(blob.stream_words, start, end),
             )
         )
+    contexts = [
+        ContextIntegrity(
+            kind=kind,
+            ctx=ctx,
+            start_bit=start,
+            end_bit=end,
+            crc=bit_range_crc(blob.table_words, start, end),
+        )
+        for kind, ctx, start, end in getattr(blob, "context_spans", ())
+    ]
     return ImageIntegrity(
         table_crc=words_crc(blob.table_words),
         stream_crc=words_crc(blob.stream_words),
@@ -127,6 +161,7 @@ def blob_integrity(blob) -> ImageIntegrity:
         table_bits=blob.table_bits,
         stream_bits=blob.stream_bits,
         regions=regions,
+        contexts=contexts,
     )
 
 
@@ -165,6 +200,48 @@ def check_offset_table(
         raise OffsetTableError(
             "offset table CRC mismatch", fingerprint=fingerprint
         )
+
+
+def check_context_seals(
+    table_words: Sequence[int],
+    integrity: ImageIntegrity,
+    fingerprint: str | None = None,
+) -> None:
+    """Check every per-context table seal of a CodecModel image.
+
+    Walked *before* the whole-area table CRC so a damaged context is
+    named by stream and context id instead of collapsing into an
+    anonymous area mismatch.  No-op for pre-CodecModel images (empty
+    ``contexts``).
+    """
+    from repro.isa.fields import FieldKind
+
+    table_bits = len(table_words) * 32
+    for record in integrity.contexts:
+        try:
+            kind_name = FieldKind(record.kind).name
+        except ValueError:
+            kind_name = f"kind {record.kind}"
+        if not 0 <= record.start_bit <= record.end_bit <= table_bits:
+            raise CodecTableError(
+                f"context table of stream {kind_name} spans bits "
+                f"[{record.start_bit}, {record.end_bit}) outside the "
+                f"{table_bits}-bit table area",
+                context=record.ctx,
+                bit_offset=record.start_bit,
+                fingerprint=fingerprint,
+            )
+        actual = bit_range_crc(
+            table_words, record.start_bit, record.end_bit
+        )
+        if actual != record.crc:
+            raise CodecTableError(
+                f"context table seal mismatch for stream {kind_name}: "
+                f"stored {record.crc:#010x}, computed {actual:#010x}",
+                context=record.ctx,
+                bit_offset=record.start_bit,
+                fingerprint=fingerprint,
+            )
 
 
 def check_area_crc(

@@ -152,7 +152,12 @@ class SquashResult:
 
         image_path = _sibling_with_suffix(prefix, ".img")
         meta_path = _sibling_with_suffix(prefix, ".json")
-        save_image(self.image, image_path)
+        integrity = self.descriptor.integrity
+        save_image(
+            self.image,
+            image_path,
+            contexts=integrity.contexts if integrity is not None else (),
+        )
         meta_path.write_text(
             json.dumps(descriptor_to_dict(self.descriptor))
         )

@@ -45,6 +45,7 @@ from repro.core.descriptor import (
 from repro.core.integrity import (
     bit_range_crc,
     check_area_crc,
+    check_context_seals,
     check_offset_table,
 )
 from repro.errors import (
@@ -683,7 +684,9 @@ class SquashRuntime:
 
         The serialized table area is CRC-checked before parsing (when
         the image carries integrity metadata) and any parse failure
-        surfaces as a :class:`~repro.errors.CodecTableError`.
+        surfaces as a :class:`~repro.errors.CodecTableError`.  Images
+        with per-context seals have each context table checked first,
+        so the error names the damaged context.
         """
         if self._codec is None:
             desc = self.desc
@@ -693,6 +696,7 @@ class SquashRuntime:
             ]
             fingerprint = self._fingerprint_hex(machine)
             if desc.integrity is not None:
+                check_context_seals(table, desc.integrity, fingerprint)
                 check_area_crc(
                     table,
                     desc.integrity.table_crc,

@@ -31,6 +31,7 @@ from repro.core.pipeline import _sibling_with_suffix
 from repro.core.integrity import (
     bit_range_crc,
     check_area_crc,
+    check_context_seals,
     check_offset_table,
 )
 from repro.errors import (
@@ -116,6 +117,7 @@ def check_image_integrity(
         image, descriptor.table_addr, descriptor.table_words
     )
     if integ is not None:
+        check_context_seals(table, integ)
         check_area_crc(
             table, integ.table_crc, "serialized codec tables",
             CodecTableError,

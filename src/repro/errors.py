@@ -133,7 +133,23 @@ class TruncatedStreamError(SquashError, EOFError):
 
 
 class CodecTableError(SquashError, ValueError):
-    """The serialized codec tables are malformed or fail their CRC."""
+    """The serialized codec tables are malformed or fail their CRC.
+
+    ``context`` names the offending context id when the failure is
+    scoped to one context of a context-modeled stream — a per-context
+    CRC mismatch, or a mapping entry routing to a context that does
+    not exist.
+    """
+
+    def __init__(
+        self, message: str = "", *, context: int | None = None, **kwargs
+    ):
+        self.context = context
+        if context is not None and f"[context {context}]" not in message:
+            message = f"{message} [context {context}]" if message else (
+                f"codec table error [context {context}]"
+            )
+        super().__init__(message, **kwargs)
 
 
 class OffsetTableError(SquashError):

@@ -2,7 +2,8 @@
 
 The harness perturbs a squashed image (bit flips in the compressed
 stream, codec tables, or offset table; stream truncation; offset-table
-corruption; region-decode-cache poisoning) and asserts that every fault
+corruption; region-decode-cache poisoning; mis-sealed or mis-indexed
+context tables of CodecModel images) and asserts that every fault
 is *detected* -- the run raises a :class:`~repro.errors.SquashError`
 subclass -- or *provably benign* -- the run's output, exit code, and
 cycle count are identical to the clean run.  A fault that changes
@@ -42,6 +43,7 @@ from repro.faultinject.servechaos import (
     run_serve_chaos,
 )
 from repro.faultinject.inject import (
+    CONTEXT_FAULT_KINDS,
     FAULT_KINDS,
     FaultSpec,
     apply_fault,
@@ -55,6 +57,7 @@ from repro.faultinject.sweep import (
 )
 
 __all__ = [
+    "CONTEXT_FAULT_KINDS",
     "FAULT_KINDS",
     "FaultSpec",
     "apply_fault",

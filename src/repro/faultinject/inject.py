@@ -27,6 +27,16 @@ FAULT_KINDS = (
     "cache-poison",
 )
 
+#: CodecModel-specific fault kinds, applicable only to images whose
+#: integrity metadata carries per-context table seals
+#: (``context-seal-corrupt``) or whose codec conditions a stream
+#: (``context-index-corrupt``).  The sweep appends them when the image
+#: qualifies.
+CONTEXT_FAULT_KINDS = (
+    "context-seal-corrupt",
+    "context-index-corrupt",
+)
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -57,15 +67,74 @@ class FaultSpec:
             return f"truncate-stream by {self.drop_words} words"
         if self.kind == "offset-corrupt":
             return f"offset-corrupt @ {self.addr:#x} -> {self.value}"
+        if self.kind == "context-seal-corrupt":
+            return (
+                f"context-seal-corrupt record {self.addr} bit {self.bit}"
+            )
+        if self.kind == "context-index-corrupt":
+            return (
+                f"context-index-corrupt @ table bit {self.addr} "
+                f"-> {self.value}"
+            )
         return f"cache-poison ({self.mode})"
 
 
 def plan_fault(
-    kind: str, descriptor: SquashDescriptor, rng: random.Random
+    kind: str,
+    descriptor: SquashDescriptor,
+    rng: random.Random,
+    image: LoadedImage | None = None,
 ) -> FaultSpec:
     """Pick concrete coordinates for a *kind* fault against an image
-    laid out per *descriptor*."""
+    laid out per *descriptor*.
+
+    The context fault kinds need more than the descriptor: the seal
+    fault needs ``integrity.contexts``, and the index fault parses the
+    codec tables out of *image* to find a conditioned stream's mapping
+    array.
+    """
     desc = descriptor
+    if kind == "context-seal-corrupt":
+        contexts = (
+            desc.integrity.contexts if desc.integrity is not None else []
+        )
+        if not contexts:
+            raise ValueError(
+                "context-seal-corrupt needs per-context integrity records"
+            )
+        return FaultSpec(
+            kind=kind,
+            addr=rng.randrange(len(contexts)),
+            bit=rng.randrange(32),
+        )
+    if kind == "context-index-corrupt":
+        if image is None:
+            raise ValueError("context-index-corrupt needs the image")
+        from repro.compress.codec import ProgramCodec
+        from repro.compress.model import context_domain
+        from repro.isa.fields import FieldKind
+
+        start = desc.table_addr - image.base
+        table = image.memory[start : start + desc.table_words]
+        codec = ProgramCodec.from_table_words(table)
+        layouts = [
+            layout
+            for layout in codec.table_layouts.values()
+            if layout.n_contexts > 1
+        ]
+        if not layouts:
+            raise ValueError(
+                "context-index-corrupt needs a conditioned stream"
+            )
+        layout = layouts[rng.randrange(len(layouts))]
+        domain = context_domain(FieldKind(layout.kind))
+        entry = rng.randrange(domain)
+        return FaultSpec(
+            kind=kind,
+            addr=layout.mapping_start_bit + entry * layout.ctx_bits,
+            bit=layout.ctx_bits,
+            value=layout.n_contexts,
+        )
     if kind == "bitflip-stream":
         addr = desc.stream_addr + rng.randrange(desc.stream_words)
         return FaultSpec(kind=kind, addr=addr, bit=rng.randrange(32))
@@ -126,6 +195,59 @@ def apply_fault(
         )
     elif spec.kind == "offset-corrupt":
         memory[spec.addr - image.base] = spec.value
+    elif spec.kind == "context-seal-corrupt":
+        # The image stays clean; the descriptor's stored seal lies.
+        integ = descriptor.integrity
+        contexts = list(integ.contexts)
+        record = contexts[spec.addr]
+        contexts[spec.addr] = dataclasses.replace(
+            record, crc=(record.crc ^ (1 << spec.bit)) & 0xFFFFFFFF
+        )
+        faulty_desc = dataclasses.replace(
+            descriptor,
+            integrity=dataclasses.replace(integ, contexts=contexts),
+        )
+    elif spec.kind == "context-index-corrupt":
+        # Rewrite one mapping entry to an out-of-range context index.
+        # The mapping sits outside every per-context span, so the
+        # seals still pass; the whole-area table CRC is recomputed so
+        # the *parser* (not the checksum) is what catches the fault.
+        base_index = descriptor.table_addr - image.base
+        _write_table_bits(
+            memory, base_index, spec.addr, spec.bit, spec.value
+        )
+        integ = descriptor.integrity
+        if integ is not None:
+            from repro.core.integrity import words_crc
+
+            table = memory[
+                base_index : base_index + descriptor.table_words
+            ]
+            faulty_desc = dataclasses.replace(
+                descriptor,
+                integrity=dataclasses.replace(
+                    integ, table_crc=words_crc(table)
+                ),
+            )
     elif spec.kind != "cache-poison":
         raise ValueError(f"unknown fault kind {spec.kind!r}")
     return faulty_image, faulty_desc
+
+
+def _write_table_bits(
+    memory: list[int],
+    base_index: int,
+    start_bit: int,
+    nbits: int,
+    value: int,
+) -> None:
+    """Overwrite the MSB-first bit range ``[start_bit, start_bit +
+    nbits)`` of the word area starting at *memory[base_index]*."""
+    for offset in range(nbits):
+        bit = (value >> (nbits - 1 - offset)) & 1
+        word_index, bit_index = divmod(start_bit + offset, 32)
+        mask = 1 << (31 - bit_index)
+        word = memory[base_index + word_index]
+        memory[base_index + word_index] = (
+            (word | mask) if bit else (word & ~mask)
+        ) & 0xFFFFFFFF

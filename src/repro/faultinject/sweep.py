@@ -33,6 +33,7 @@ from repro.core.pipeline import SquashResult
 from repro.core.runtime import SquashRuntime, clear_region_decode_cache
 from repro.errors import SquashError
 from repro.faultinject.inject import (
+    CONTEXT_FAULT_KINDS,
     FAULT_KINDS,
     FaultSpec,
     apply_fault,
@@ -201,7 +202,7 @@ def run_sweep(
     report = SweepReport(seed=seed, faults=faults)
     for index in range(faults):
         kind = kinds[rng.randrange(len(kinds))]
-        spec = plan_fault(kind, result.descriptor, rng)
+        spec = plan_fault(kind, result.descriptor, rng, result.image)
         if kind == "cache-poison":
             report.record(
                 _run_cache_poison(
@@ -249,13 +250,37 @@ def sweep_program(
     theta: float = 0.0,
     bound: int = 512,
     kinds: tuple[str, ...] = FAULT_KINDS,
+    codec_variant: str = "",
 ) -> SweepReport:
-    """Convenience: squash one MediaBench benchmark and sweep it."""
+    """Convenience: squash one MediaBench benchmark and sweep it.
+
+    *codec_variant* selects a codec registry entry (see
+    :data:`repro.compress.codec.CODEC_VARIANTS`).  When *kinds* is left
+    at its default, the CodecModel fault kinds are appended
+    automatically for images that qualify: ``context-seal-corrupt``
+    whenever per-context seals are present, ``context-index-corrupt``
+    when the codec conditions at least one stream.
+    """
     from repro.analysis.experiments import squash_benchmark
     from repro.core.pipeline import SquashConfig
     from repro.workloads.mediabench import mediabench_program
 
-    config = SquashConfig(theta=theta).with_buffer_bound(bound)
+    config = SquashConfig(
+        theta=theta, codec_variant=codec_variant
+    ).with_buffer_bound(bound)
     result = squash_benchmark(name, scale, config)
+    if kinds is FAULT_KINDS:
+        kinds = kinds + _applicable_context_kinds(result)
     bench = mediabench_program(name, scale=scale)
     return run_sweep(result, bench.timing_input, faults, seed, kinds)
+
+
+def _applicable_context_kinds(result: SquashResult) -> tuple[str, ...]:
+    """The :data:`CONTEXT_FAULT_KINDS` subset *result* can express."""
+    integ = result.descriptor.integrity
+    if integ is None or not integ.contexts:
+        return ()
+    kinds: tuple[str, ...] = ("context-seal-corrupt",)
+    if any(record.ctx > 0 for record in integ.contexts):
+        kinds += ("context-index-corrupt",)
+    return kinds

@@ -79,15 +79,25 @@ def squash_stages(config) -> list[Stage]:
         return layout
 
     def encode_stage(ctx, plan, classify, layout, info: RewriteInfo):
+        codec_config = (
+            config.effective_codec()
+            if hasattr(config, "effective_codec")
+            else config.codec
+        )
         blob = build_blob(
             classify.plans,
             plan.program,
             layout,
             plan.ctx.entries,
             plan.region_of,
-            config.codec,
+            codec_config,
         )
         info.blob = blob
+        ctx.count("codec_contexts", len(blob.context_spans))
+        ctx.count(
+            "codec_conditioned_streams",
+            len({span[0] for span in blob.context_spans if span[1] > 0}),
+        )
         info.compressed_original_instrs = sum(
             p.original_instrs for p in classify.plans
         )

@@ -37,6 +37,13 @@ class LoadedImage:
     segments: list[Segment] = field(default_factory=list)
     symbols: dict[str, int] = field(default_factory=dict)
     block_heads: dict[int, str] = field(default_factory=dict)
+    #: Per-context codec table seals carried by image files of format
+    #: version >= 3: ``(kind, ctx, start_bit, end_bit, crc)`` tuples
+    #: (see :class:`repro.core.integrity.ContextIntegrity`).  Empty for
+    #: freshly-laid-out programs and older image files.
+    codec_contexts: list[tuple[int, int, int, int, int]] = field(
+        default_factory=list
+    )
 
     @property
     def end(self) -> int:

@@ -9,12 +9,19 @@ words::
     n_symbols  | per symbol:  name-length, name bytes (padded), address
     n_heads    | per head:    address, label-length, label bytes (padded)
     n_words    | memory words
+    n_contexts | per context: kind, ctx, start_bit, end_bit, crc
+                                        (version >= 3)
     crc32 over all preceding bytes      (version >= 2)
 
 Version 2 appends the CRC32 footer so a bit-flipped or truncated file
-is rejected at load time; version-1 files (no footer) still load.
-Squashed images additionally need their runtime descriptor; see
-:func:`repro.core.descriptor.descriptor_to_dict` and
+is rejected at load time; version 3 adds the codec-context section --
+the per-context table seals of the image's
+:class:`~repro.compress.model.CodecModel` (one record per context of
+each serialized stream, empty for order-0 codecs saved without seals)
+-- so a squashed image is self-describing even without its descriptor
+JSON.  Version-1 (no footer) and version-2 (no context section) files
+still load.  Squashed images additionally need their runtime
+descriptor; see :func:`repro.core.descriptor.descriptor_to_dict` and
 :meth:`repro.core.pipeline.SquashResult.save`.
 """
 
@@ -28,7 +35,7 @@ from repro.errors import CorruptBlobError
 from repro.program.image import LoadedImage, Segment
 
 MAGIC = 0x5351494D  # 'SQIM'
-VERSION = 2
+VERSION = 3
 #: Oldest format version :func:`load_image` still accepts.
 MIN_VERSION = 1
 
@@ -80,8 +87,17 @@ class _Reader:
         return value
 
 
-def save_image(image: LoadedImage, path: str | pathlib.Path) -> None:
-    """Write *image* to *path* (format version 2, with CRC footer)."""
+def save_image(
+    image: LoadedImage,
+    path: str | pathlib.Path,
+    contexts: object = (),
+) -> None:
+    """Write *image* to *path* (format version 3, with CRC footer).
+
+    *contexts* holds the per-context codec table seals: an iterable of
+    ``(kind, ctx, start_bit, end_bit, crc)`` tuples or objects with
+    those attributes (:class:`~repro.core.integrity.ContextIntegrity`).
+    """
     parts: list[bytes] = [
         struct.pack("<IIII", MAGIC, VERSION, image.base, image.entry_pc)
     ]
@@ -99,6 +115,24 @@ def save_image(image: LoadedImage, path: str | pathlib.Path) -> None:
         _pack_str(parts, label)
     parts.append(struct.pack("<I", len(image.memory)))
     parts.append(struct.pack(f"<{len(image.memory)}I", *image.memory))
+    records = [
+        ctx
+        if isinstance(ctx, tuple)
+        else (ctx.kind, ctx.ctx, ctx.start_bit, ctx.end_bit, ctx.crc)
+        for ctx in contexts
+    ]
+    parts.append(struct.pack("<I", len(records)))
+    for kind, ctx_id, start_bit, end_bit, crc in records:
+        parts.append(
+            struct.pack(
+                "<IIIII",
+                kind,
+                ctx_id,
+                start_bit,
+                end_bit,
+                crc & 0xFFFFFFFF,
+            )
+        )
     payload = b"".join(parts)
     crc = zlib.crc32(payload) & 0xFFFFFFFF
     pathlib.Path(path).write_bytes(payload + struct.pack("<I", crc))
@@ -154,6 +188,19 @@ def load_image(path: str | pathlib.Path) -> LoadedImage:
     if end > len(reader.data):
         raise ImageFormatError("truncated memory")
     memory = list(struct.unpack_from(f"<{n_words}I", reader.data, reader.pos))
+    reader.pos = end
+    contexts: list[tuple[int, int, int, int, int]] = []
+    if version >= 3:
+        for _ in range(reader.count("codec context")):
+            contexts.append(
+                (
+                    reader.u32(),
+                    reader.u32(),
+                    reader.u32(),
+                    reader.u32(),
+                    reader.u32(),
+                )
+            )
     return LoadedImage(
         memory=memory,
         base=base,
@@ -161,4 +208,5 @@ def load_image(path: str | pathlib.Path) -> LoadedImage:
         segments=segments,
         symbols=symbols,
         block_heads=heads,
+        codec_contexts=contexts,
     )

@@ -179,6 +179,11 @@ class Settings:
     #: Region decode backend (``REPRO_DECODE_BACKEND``): ``reference``,
     #: ``table``, ``vector``, or "" to derive from ``fast_decode``.
     decode_backend: str = ""
+    #: Codec variant name from the codec registry
+    #: (``REPRO_CODEC_VARIANT``; "" keeps the config's own codec, and
+    #: unknown names warn once and fall back to ``baseline`` at the
+    #: resolution site).
+    codec_variant: str = ""
     #: Keep supervised worker pools alive across sweeps
     #: (``REPRO_POOL_PERSIST``), so codec tables and stage bundles are
     #: built once per host instead of once per run.
@@ -257,6 +262,7 @@ ENV_KNOBS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "region_cache": ("REPRO_REGION_CACHE", _parse_bool),
     "fast_decode": ("REPRO_FAST_DECODE", _parse_bool),
     "decode_backend": ("REPRO_DECODE_BACKEND", _parse_backend),
+    "codec_variant": ("REPRO_CODEC_VARIANT", _parse_str),
     "pool_persist": ("REPRO_POOL_PERSIST", _parse_strict_bool),
     "store_quota_bytes": ("REPRO_STORE_QUOTA_BYTES", _parse_quota),
     "store_policy": ("REPRO_STORE_POLICY", _parse_str),

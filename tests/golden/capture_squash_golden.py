@@ -1,15 +1,21 @@
-"""Regenerate ``squash_golden.json`` from the current pipeline.
+"""Regenerate a squash golden file from the current pipeline.
 
 Run only after an *intentional* change to squash output::
 
     PYTHONPATH=src python tests/golden/capture_squash_golden.py
+    PYTHONPATH=src python tests/golden/capture_squash_golden.py \\
+        --variant ctx1
 
 The digests pin the emitted image bytes, footprint, baseline size,
 modelled timing-run cycles, and program output for every benchmark ×
 θ cell at a fixed scale; ``tests/test_squash_golden.py`` asserts the
-pipeline still reproduces them exactly.
+pipeline still reproduces them exactly.  Each codec variant gets its
+own golden file (``squash_golden.json`` for baseline,
+``squash_golden_<variant>.json`` otherwise), so the ``baseline``
+digests stay byte-for-byte those of the pre-CodecModel pipeline.
 """
 
+import argparse
 import hashlib
 import json
 import pathlib
@@ -21,6 +27,11 @@ from repro.workloads.mediabench import MEDIABENCH, mediabench_program
 
 SCALE = 0.2
 THETAS = (0.0, 1e-5, 5e-5, 1.0)
+
+
+def golden_path(variant: str) -> pathlib.Path:
+    suffix = "" if variant in ("", "baseline") else f"_{variant}"
+    return pathlib.Path(__file__).parent / f"squash_golden{suffix}.json"
 
 
 def image_digest(image) -> str:
@@ -35,12 +46,27 @@ def image_digest(image) -> str:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--variant", default="",
+        help="codec variant to capture (default: baseline)",
+    )
+    parser.add_argument(
+        "--out", default="",
+        help="output path (default: derived from the variant)",
+    )
+    args = parser.parse_args()
     golden = {"scale": SCALE, "thetas": list(THETAS), "cells": {}}
+    if args.variant:
+        golden["codec_variant"] = args.variant
     t0 = time.time()
     for name in MEDIABENCH:
         bench = mediabench_program(name, scale=SCALE)
         for theta_paper in THETAS:
-            config = SquashConfig(theta=map_theta(theta_paper))
+            config = SquashConfig(
+                theta=map_theta(theta_paper),
+                codec_variant=args.variant,
+            )
             result = squash_benchmark(name, SCALE, config)
             run, _ = result.run(bench.timing_input, max_steps=500_000_000)
             golden["cells"][f"{name}@{theta_paper}"] = {
@@ -57,7 +83,9 @@ def main() -> None:
                 "exit_code": run.exit_code,
             }
         print(name, round(time.time() - t0, 1))
-    out = pathlib.Path(__file__).parent / "squash_golden.json"
+    out = (
+        pathlib.Path(args.out) if args.out else golden_path(args.variant)
+    )
     out.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
     print("wrote", len(golden["cells"]), "cells to", out)
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from benchmarks.run_bench import (
     BACKENDS,
     BENCH_VERSION,
+    VARIANTS,
     _digest_results,
     _percentile,
     sweep_mode_label,
@@ -19,12 +20,20 @@ from benchmarks.run_bench import (
 from repro.compress.streams import CodecInstr
 
 
-def test_version_is_two():
-    assert BENCH_VERSION == 2
+def test_version_is_three():
+    # v3 split the decoder section per codec variant.
+    assert BENCH_VERSION == 3
 
 
 def test_all_registered_backends_are_measured():
     assert BACKENDS == ("reference", "table", "vector")
+
+
+def test_decoder_section_covers_both_codec_variants():
+    from repro.compress.codec import CODEC_VARIANTS
+
+    assert VARIANTS == ("baseline", "ctx1")
+    assert set(VARIANTS) <= set(CODEC_VARIANTS.names())
 
 
 class TestModeLabel:

@@ -9,9 +9,16 @@ count of the timing run, and the output digest.  The staged pipeline
 must reproduce all of them exactly — refactors of the stage modules
 are only mechanical if this suite stays green.
 
+``REPRO_CODEC_VARIANT`` reruns the same grid against that variant's
+own golden file (``squash_golden_<variant>.json``, e.g. the pinned
+``ctx1`` digests), so CI proves both that ``baseline`` is untouched
+and that context-conditioned codecs are reproducible.
+
 Regenerate (only after an intentional output change)::
 
     PYTHONPATH=src python tests/golden/capture_squash_golden.py
+    PYTHONPATH=src python tests/golden/capture_squash_golden.py \\
+        --variant ctx1
 """
 
 import hashlib
@@ -20,11 +27,19 @@ import pathlib
 
 import pytest
 
+from repro import settings
 from repro.analysis.experiments import map_theta, squash_benchmark
 from repro.core.pipeline import SquashConfig
 from repro.workloads.mediabench import MEDIABENCH, mediabench_program
 
-GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "squash_golden.json"
+#: Codec variant under test (the REPRO_CODEC_VARIANT knob); "" and
+#: "baseline" both mean the pre-CodecModel pipeline and share the
+#: original golden file.
+VARIANT = settings.current().codec_variant
+_SUFFIX = "" if VARIANT in ("", "baseline") else f"_{VARIANT}"
+GOLDEN_PATH = (
+    pathlib.Path(__file__).parent / "golden" / f"squash_golden{_SUFFIX}.json"
+)
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
 SCALE = GOLDEN["scale"]
 THETAS = tuple(GOLDEN["thetas"])
@@ -73,7 +88,9 @@ def test_golden_covers_full_grid():
 def test_staged_pipeline_matches_golden(name):
     bench = mediabench_program(name, scale=SCALE)
     for theta_paper in THETAS:
-        config = SquashConfig(theta=map_theta(theta_paper))
+        config = SquashConfig(
+            theta=map_theta(theta_paper), codec_variant=VARIANT
+        )
         result = squash_benchmark(name, SCALE, config)
         want = GOLDEN["cells"][f"{name}@{theta_paper}"]
         cell = f"{name}@{theta_paper}"
