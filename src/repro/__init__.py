@@ -76,7 +76,10 @@ _EXPORTS = {
     "job_result": ("repro.api", "job_result"),
     "JobSpec": ("repro.service.jobs", "JobSpec"),
     "JobEngine": ("repro.service.engine", "JobEngine"),
+    "ServiceClient": ("repro.service.client", "ServiceClient"),
+    "JobHandle": ("repro.service.client", "JobHandle"),
     "ServiceOverloaded": ("repro.errors", "ServiceOverloaded"),
+    "TenantQuotaExceeded": ("repro.errors", "TenantQuotaExceeded"),
     "JobExpired": ("repro.errors", "JobExpired"),
     "SpecError": ("repro.errors", "SpecError"),
     "MEDIABENCH": ("repro.workloads.mediabench", "MEDIABENCH"),

@@ -17,6 +17,18 @@ the process-pool machinery.
     rows = api.sweep(api.SweepSpec(names=("adpcm", "gsm"), kind="size"))
     report = api.verify("/tmp/gsm")
 
+The job service is reached through the typed client — one API over
+every transport (in-process engine, filesystem spool, HTTP)::
+
+    with api.ServiceClient("local") as client:       # or "spool",
+        handle = client.submit(kind="squash",        # or "http://host:port"
+                               payload={"name": "gsm"})
+        result = handle.result(timeout=60.0)
+
+The pre-client free functions (:func:`submit`, :func:`job_status`,
+:func:`job_result`) still work against the process-wide engine but are
+deprecated shims; new code goes through :class:`ServiceClient`.
+
 Configuration precedence is uniform everywhere behind this facade:
 explicit config objects beat ``REPRO_*`` environment variables beat
 the declared defaults (:mod:`repro.settings`).  Observability hooks
@@ -39,10 +51,12 @@ from repro.core.pipeline import (
 from repro.errors import SpecError
 
 __all__ = [
+    "JobHandle",
     "JobSpec",
     "LoadedSquash",
     "RunOutcome",
     "RunSpec",
+    "ServiceClient",
     "SquashConfig",
     "SquashResult",
     "SweepSpec",
@@ -288,22 +302,39 @@ def store_verify(root=None) -> dict:
 
 # -- job service --------------------------------------------------------------
 
+_DEPRECATION_WARNED: set = set()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    # Once per function per process: enough signal to migrate, no log
+    # spam from tight submit loops.
+    if old in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(old)
+    import warnings
+
+    warnings.warn(
+        f"repro.api.{old}() is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 
 def submit(spec=None, **fields) -> str:
-    """Submit one job to the process-wide service engine.
+    """Deprecated: submit one job to the process-wide service engine.
 
-    Accepts a :class:`~repro.service.jobs.JobSpec` or its fields
-    (``kind``, ``payload``, ``tenant``, ``priority``, ``deadline``)::
+    Use :class:`ServiceClient` instead — same typed contract, plus
+    transports, handles, and retry-aware waiting::
 
-        job_id = api.submit(kind="squash",
-                            payload={"name": "gsm", "theta": 1e-4},
-                            tenant="alice", deadline=30.0)
+        handle = api.ServiceClient("local").submit(kind="squash",
+                                                   payload={"name": "gsm"})
 
-    Returns the job id.  Raises typed
-    :class:`~repro.errors.ServiceOverloaded` when the admission queue
-    sheds the request (back off for ``exc.retry_after`` seconds) and
+    Still accepts a :class:`~repro.service.jobs.JobSpec` or its fields
+    and returns the job id; raises typed
+    :class:`~repro.errors.ServiceOverloaded` on shed and
     :class:`~repro.errors.SpecError` on a malformed spec.
     """
+    _warn_deprecated("submit", "ServiceClient.submit")
     from repro.service import JobSpec as _JobSpec
     from repro.service import get_engine
 
@@ -317,34 +348,39 @@ def submit(spec=None, **fields) -> str:
 
 
 def job_status(job_id: str) -> dict:
-    """The job's current state snapshot (falls back to the crash-safe
-    journal for jobs submitted by a previous process)."""
+    """Deprecated: use ``ServiceClient(...).status(job_id)`` (or the
+    handle's ``status()``).  The job's current state snapshot."""
+    _warn_deprecated("job_status", "ServiceClient.status / JobHandle.status")
     from repro.service import get_engine
 
     return get_engine().status(job_id)
 
 
 def job_result(job_id: str, timeout: float | None = None) -> dict:
-    """Block until the job is terminal and return its result payload.
-
-    Raises the typed error the job ended with —
-    :class:`~repro.errors.JobExpired` for deadline cancellations,
-    :class:`~repro.errors.JobFailed` for execution failures,
-    :class:`~repro.errors.UnknownJob` for ids the service never saw.
-    """
+    """Deprecated: use ``ServiceClient(...).result(job_id)`` (or the
+    handle's ``result()``).  Blocks until terminal; raises the typed
+    error the job ended with."""
+    _warn_deprecated("job_result", "ServiceClient.result / JobHandle.result")
     from repro.service import get_engine
 
     return get_engine().result(job_id, timeout=timeout)
 
 
-def __getattr__(name: str):
-    # JobSpec is part of the facade surface but resolves lazily so
-    # ``import repro.api`` stays cheap (the service stack pulls in
-    # asyncio and the store).
-    if name == "JobSpec":
-        from repro.service.jobs import JobSpec as _JobSpec
+_LAZY_SERVICE = {
+    # Facade surface that resolves lazily so ``import repro.api``
+    # stays cheap (the service stack pulls in asyncio and the store).
+    "JobSpec": ("repro.service.jobs", "JobSpec"),
+    "ServiceClient": ("repro.service.client", "ServiceClient"),
+    "JobHandle": ("repro.service.client", "JobHandle"),
+}
 
-        return _JobSpec
+
+def __getattr__(name: str):
+    target = _LAZY_SERVICE.get(name)
+    if target is not None:
+        import importlib
+
+        return getattr(importlib.import_module(target[0]), target[1])
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )

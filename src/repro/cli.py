@@ -499,10 +499,23 @@ def _cmd_storechaos(args) -> int:
     return code
 
 
+def _parse_http_endpoint(raw: str) -> tuple[str | None, int]:
+    """``[HOST:]PORT`` -> (host or None, port)."""
+    host, _, port = raw.rpartition(":")
+    try:
+        return (host or None), int(port)
+    except ValueError:
+        raise SystemExit(
+            f"serve: --http takes [HOST:]PORT, not {raw!r}"
+        ) from None
+
+
 def _cmd_serve(args) -> int:
     """Run the job service against the filesystem spool until
     signalled (SIGTERM/SIGINT drain gracefully), *--max-jobs*
-    terminal jobs, or *--idle-exit* seconds of quiet."""
+    terminal jobs, or *--idle-exit* seconds of quiet.  With
+    ``--http [HOST:]PORT`` the JSON front end is served alongside
+    the spool."""
     import signal
     import threading
 
@@ -510,6 +523,12 @@ def _cmd_serve(args) -> int:
 
     engine = JobEngine(ServiceConfig.from_settings())
     engine.start(recover=True)
+    http_server = None
+    if args.http is not None:
+        from repro.service import serve_http
+
+        host, port = _parse_http_endpoint(args.http)
+        http_server = serve_http(engine, host=host, port=port)
     stop_flag = threading.Event()
 
     def _request_stop(signum, frame):
@@ -521,7 +540,9 @@ def _cmd_serve(args) -> int:
     print(
         f"serve: up (workers {engine.config.workers}, "
         f"queue depth {engine.config.queue_depth}, "
-        f"tenant cap {engine.config.tenant_cap})",
+        f"tenant cap {engine.config.tenant_cap}"
+        + (f", http {http_server.url}" if http_server else "")
+        + ")",
         file=sys.stderr,
     )
     try:
@@ -534,6 +555,8 @@ def _cmd_serve(args) -> int:
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
+        if http_server is not None:
+            http_server.stop()
         engine.stop()
     print(f"serve: drained after {terminal} terminal jobs",
           file=sys.stderr)
@@ -541,14 +564,17 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_submit(args) -> int:
-    """Spool one job for a running ``repro serve`` process.
+    """Submit one job to a running ``repro serve`` process.
 
     The positional argument picks the job kind (default ``squash``);
-    ``--wait SECONDS`` polls the journal for the terminal record.
+    requests go through the typed :class:`ServiceClient` — over the
+    filesystem spool by default, or over HTTP with ``--url``.
+    ``--wait SECONDS`` blocks for the result.
     """
     import json
 
-    from repro.service import JobSpec, SpoolClient
+    from repro.errors import SquashError
+    from repro.service import JobSpec, ServiceClient
 
     kind = args.prefix or "squash"
     if kind == "squash":
@@ -559,6 +585,8 @@ def _cmd_submit(args) -> int:
     elif kind == "sweep":
         payload = {"names": list(args.names), "scale": args.scale,
                    "sweep_kind": "size"}
+        if args.fanout:
+            payload["fanout"] = True
     elif kind == "verify":
         if not args.save:
             print("submit: verify jobs need --save PREFIX")
@@ -571,22 +599,24 @@ def _cmd_submit(args) -> int:
         kind=kind, payload=payload, tenant=args.tenant,
         priority=args.priority, deadline=args.deadline_s,
     )
-    client = SpoolClient()
-    job_id = client.submit(spec)
-    print(f"submitted {job_id} ({kind}, tenant={args.tenant}, "
-          f"priority={args.priority})")
-    if args.wait is None:
-        return 0
-    record = client.wait(job_id, timeout=args.wait)
-    state = record.get("state")
-    print(f"{job_id}: {state}")
-    if state == "done":
-        print(json.dumps(record.get("result") or {}, sort_keys=True))
-        return 0
-    error = record.get("error") or []
-    if error:
-        print(f"  {error[0]}: {error[1] if len(error) > 1 else ''}")
-    return 1
+    with ServiceClient(args.url or "spool") as client:
+        handle = client.submit(spec)
+        print(f"submitted {handle.id} ({kind}, tenant={args.tenant}, "
+              f"priority={args.priority}, "
+              f"transport={client.transport})")
+        if args.wait is None:
+            return 0
+        try:
+            result = handle.result(timeout=args.wait)
+        except SquashError as exc:
+            print(f"{handle.id}: {type(exc).__name__}: {exc}")
+            return 1
+        except TimeoutError as exc:
+            print(f"{handle.id}: timeout: {exc}")
+            return 1
+    print(f"{handle.id}: done")
+    print(json.dumps(result or {}, sort_keys=True))
+    return 0
 
 
 def _cmd_jobs(args) -> int:
@@ -625,6 +655,7 @@ def _cmd_servechaos(args) -> int:
 
     report = run_serve_chaos(
         scale=args.scale, seed=args.seed, scenarios=args.scenarios,
+        transport=args.transport,
     )
     print(report.render())
     return 0 if report.ok else 1
@@ -758,9 +789,29 @@ def main(argv: list[str] | None = None) -> int:
         "running (serve command)",
     )
     parser.add_argument(
+        "--http", default=None, metavar="[HOST:]PORT",
+        help="also expose the JSON HTTP front end on [HOST:]PORT "
+        "(serve command; default host REPRO_SERVICE_HTTP_HOST)",
+    )
+    parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help="submit over HTTP to a running 'repro serve --http' "
+        "instead of the filesystem spool (submit command)",
+    )
+    parser.add_argument(
+        "--fanout", action="store_true",
+        help="partition a sweep job into per-benchmark cells claimed "
+        "by every serving engine sharing the store (submit command)",
+    )
+    parser.add_argument(
         "--scenarios", nargs="*", default=None,
         help="serve-chaos scenario subset (servechaos command; "
         "default: all)",
+    )
+    parser.add_argument(
+        "--transport", default="spool", choices=("spool", "http"),
+        help="client transport the serve-chaos scenarios exercise "
+        "(servechaos command; default spool)",
     )
     parser.add_argument(
         "--out", default=None, metavar="PATH",

@@ -25,11 +25,27 @@
    ENOSPC storm with retries off; journaling degrades (counted by
    ``service.journal_degraded``) but admission, execution, and results
    keep working — availability outlives the journal.
+5. **Tenant quota** — under a tiny ``REPRO_TENANT_QUOTA_BYTES`` a hog
+   tenant floods until admission sheds it with a typed
+   :class:`~repro.errors.TenantQuotaExceeded` (retry-after attached),
+   while a mouse tenant's jobs complete and its journal records stay
+   unevicted — one tenant's appetite never costs another's results.
+6. **Fan-out** — a sweep is partitioned across two engines sharing
+   one store (:mod:`repro.service.fanout`); the peer engine is
+   SIGKILLed right after it claims a cell.  The survivor must reclaim
+   the dead engine's cells after lease expiry and finish with rows
+   byte-identical to a serial sweep — zero lost cells.
+
+The *transport* parameter (``spool`` or ``http``) selects how the
+overload and SIGKILL scenarios reach the service: in-process/spool, or
+through the JSON HTTP front end (typed errors reconstructed from
+status codes on the client side of the wire).
 
 The run **fails** (non-zero exit) if a shed was untyped, an accepted
 job was lost, a deadline was ignored, tenants starved, a SIGKILL lost
-a job, or the dead-store pass either broke job execution or recorded
-no degradation.
+a job, the dead-store pass either broke job execution or recorded no
+degradation, a hog tenant escaped its quota (or evicted the mouse), or
+the fan-out sweep lost cells or diverged from serial rows.
 """
 
 from __future__ import annotations
@@ -44,16 +60,23 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import JobExpired, ServiceOverloaded
+from repro.errors import (
+    JobExpired,
+    ServiceOverloaded,
+    TenantQuotaExceeded,
+)
 from repro.faultinject import chaos
 from repro.faultinject.chaossweep import _env
 from repro.obs.metrics import get_registry
 
-__all__ = ["SCENARIOS", "ServeChaosReport", "run_serve_chaos"]
+__all__ = ["SCENARIOS", "TRANSPORTS", "ServeChaosReport", "run_serve_chaos"]
 
 _METRICS = get_registry()
 
-SCENARIOS = ("overload", "fairness", "sigkill", "deadstore")
+SCENARIOS = (
+    "overload", "fairness", "quota", "sigkill", "deadstore", "fanout",
+)
+TRANSPORTS = ("spool", "http")
 
 
 @dataclass
@@ -63,6 +86,8 @@ class ServeChaosReport:
     scale: float
     seed: int
     scenarios: tuple[str, ...] = SCENARIOS
+    #: How overload/sigkill reach the service: ``spool`` or ``http``.
+    transport: str = "spool"
     #: Unexpected per-scenario exceptions (scenario -> message).
     errors: dict[str, str] = field(default_factory=dict)
 
@@ -93,6 +118,20 @@ class ServeChaosReport:
     deadstore_jobs: int = 0
     deadstore_completed: int = 0
     deadstore_degraded: int = 0
+
+    # tenant quota
+    quota_hog_submitted: int = 0
+    quota_hog_sheds: int = 0
+    quota_sheds_typed: bool = False
+    quota_mouse_jobs: int = 0
+    quota_mouse_done: int = 0
+    quota_mouse_unevicted: bool = False
+
+    # fan-out
+    fanout_cells: int = 0
+    fanout_kill_delivered: bool = False
+    fanout_lost: int = -1
+    fanout_rows_match: bool = False
 
     @property
     def overload_ok(self) -> bool:
@@ -126,20 +165,42 @@ class ServeChaosReport:
         )
 
     @property
+    def quota_ok(self) -> bool:
+        return (
+            self.quota_hog_sheds > 0
+            and self.quota_sheds_typed
+            and self.quota_mouse_jobs > 0
+            and self.quota_mouse_done == self.quota_mouse_jobs
+            and self.quota_mouse_unevicted
+        )
+
+    @property
+    def fanout_ok(self) -> bool:
+        return (
+            self.fanout_cells > 0
+            and self.fanout_kill_delivered
+            and self.fanout_lost == 0
+            and self.fanout_rows_match
+        )
+
+    @property
     def ok(self) -> bool:
         if self.errors:
             return False
         checks = {
             "overload": self.overload_ok,
             "fairness": self.fairness_ok,
+            "quota": self.quota_ok,
             "sigkill": self.sigkill_ok,
             "deadstore": self.deadstore_ok,
+            "fanout": self.fanout_ok,
         }
         return all(checks[name] for name in self.scenarios)
 
     def render(self) -> str:
         lines = [
             f"serve chaos: scale={self.scale} seed={self.seed} "
+            f"transport={self.transport} "
             f"scenarios={','.join(self.scenarios)}"
         ]
         if "overload" in self.scenarios:
@@ -173,12 +234,31 @@ class ServeChaosReport:
                 f"{'identical' if self.kill_digests_match else 'DIVERGED'}"
                 f"  [{'OK' if self.sigkill_ok else 'FAILED'}]"
             )
+        if "quota" in self.scenarios:
+            lines.append(
+                f"  quota: hog {self.quota_hog_sheds}"
+                f"/{self.quota_hog_submitted} shed "
+                f"({'typed' if self.quota_sheds_typed else 'UNTYPED'}), "
+                f"mouse {self.quota_mouse_done}/{self.quota_mouse_jobs} "
+                f"done, records "
+                f"{'unevicted' if self.quota_mouse_unevicted else 'EVICTED'}"
+                f"  [{'OK' if self.quota_ok else 'FAILED'}]"
+            )
         if "deadstore" in self.scenarios:
             lines.append(
                 f"  dead store: {self.deadstore_completed}"
                 f"/{self.deadstore_jobs} jobs completed, "
                 f"journal degradations {self.deadstore_degraded}"
                 f"  [{'OK' if self.deadstore_ok else 'FAILED'}]"
+            )
+        if "fanout" in self.scenarios:
+            lost = "?" if self.fanout_lost < 0 else self.fanout_lost
+            lines.append(
+                f"  fanout: {self.fanout_cells} cells, peer "
+                f"{'killed post-claim' if self.fanout_kill_delivered else 'NOT KILLED'}, "
+                f"{lost} lost, rows "
+                f"{'identical to serial' if self.fanout_rows_match else 'DIVERGED'}"
+                f"  [{'OK' if self.fanout_ok else 'FAILED'}]"
             )
         for name, message in self.errors.items():
             lines.append(f"  {name}: ERROR {message}")
@@ -223,7 +303,7 @@ def _resume_dispatch(engine) -> None:
 
 
 def _run_overload(report: ServeChaosReport, root: pathlib.Path,
-                  scale: float) -> None:
+                  scale: float, transport: str = "spool") -> None:
     from repro.service import JobEngine, JobJournal, ServiceConfig
 
     config = ServiceConfig(
@@ -232,6 +312,25 @@ def _run_overload(report: ServeChaosReport, root: pathlib.Path,
     engine = JobEngine(config, journal=JobJournal(root))
     engine._dispatch_paused = True
     engine.start(recover=False)
+    server = client = None
+    if transport == "http":
+        # Same engine, reached over the wire: sheds must come back as
+        # 503s the client reconstructs into the same typed errors.
+        from repro.service import ServiceClient, serve_http
+
+        server = serve_http(engine, port=0)
+        client = ServiceClient(server.url)
+
+    def _submit(spec) -> str:
+        if client is not None:
+            return client.submit(spec).id
+        return engine.submit(spec).id
+
+    def _result(job_id: str, timeout: float) -> dict:
+        if client is not None:
+            return client.result(job_id, timeout=timeout)
+        return engine.result(job_id, timeout=timeout)
+
     try:
         accepted = []
         sheds = []
@@ -242,8 +341,8 @@ def _run_overload(report: ServeChaosReport, root: pathlib.Path,
             theta = 1e-4 * (index + 1)
             report.storm_submitted += 1
             try:
-                job = engine.submit(_squash_spec(theta, scale))
-                accepted.append((job.id, theta))
+                accepted.append((_submit(_squash_spec(theta, scale)),
+                                 theta))
             except ServiceOverloaded as exc:
                 sheds.append(exc)
                 retry_afters.append(exc.retry_after)
@@ -256,7 +355,7 @@ def _run_overload(report: ServeChaosReport, root: pathlib.Path,
         _resume_dispatch(engine)
         matches = []
         for job_id, theta in accepted:
-            result = engine.result(job_id, timeout=300.0)
+            result = _result(job_id, timeout=300.0)
             report.storm_terminal += 1
             matches.append(
                 result["image_digest"]
@@ -268,24 +367,26 @@ def _run_overload(report: ServeChaosReport, root: pathlib.Path,
         # deadline expires typed, a generous one tightens the
         # supervisor cell deadline the job's work observes.
         try:
-            job = engine.submit(
-                _squash_spec(2e-3, scale, deadline=0.0001)
-            )
-            engine.result(job.id, timeout=60.0)
+            job_id = _submit(_squash_spec(2e-3, scale, deadline=0.0001))
+            _result(job_id, timeout=60.0)
         except JobExpired:
             report.deadline_expired_typed = True
-        job = engine.submit(_squash_spec(3e-3, scale, deadline=30.0))
-        result = engine.result(job.id, timeout=60.0)
+        job_id = _submit(_squash_spec(3e-3, scale, deadline=30.0))
+        result = _result(job_id, timeout=60.0)
         observed = result.get("cell_deadline")
         report.cell_deadline_propagated = (
             observed is not None and 0 < observed <= 30.0
         )
     finally:
+        if client is not None:
+            client.close()
+        if server is not None:
+            server.stop()
         engine.stop(drain_timeout=1.0)
 
 
 def _run_fairness(report: ServeChaosReport, root: pathlib.Path,
-                  scale: float) -> None:
+                  scale: float, transport: str = "spool") -> None:
     from repro.service import JobEngine, JobJournal, ServiceConfig
 
     config = ServiceConfig(
@@ -325,8 +426,33 @@ def _serve_argv(extra: list[str]) -> list[str]:
     return [sys.executable, "-m", "repro", "serve", *extra]
 
 
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _wait_http_up(url: str, timeout: float = 60.0) -> bool:
+    import urllib.error
+    import urllib.request
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url + "/v1/health",
+                                        timeout=5.0) as resp:
+                if resp.status == 200:
+                    return True
+        except (urllib.error.URLError, OSError):
+            pass
+        time.sleep(0.05)
+    return False
+
+
 def _run_sigkill(report: ServeChaosReport, root: pathlib.Path,
-                 scale: float) -> None:
+                 scale: float, transport: str = "spool") -> None:
     from repro.service import SpoolClient
 
     env = dict(os.environ)
@@ -336,16 +462,38 @@ def _run_sigkill(report: ServeChaosReport, root: pathlib.Path,
     )
     client = SpoolClient(root)
     thetas = [2e-4 * (index + 1) for index in range(3)]
-    with _env(REPRO_CACHE_DIR=str(root)):
-        job_ids = [
-            client.submit(_squash_spec(theta, scale))
-            for theta in thetas
-        ]
-    report.kill_jobs = len(job_ids)
+    serve_extra: list[str] = []
+    if transport == "http":
+        # Submissions go over the wire into the serving process; the
+        # kill then lands with HTTP-submitted jobs in flight.  Waiting
+        # still reads the journal — the transport-independent truth a
+        # murdered server cannot take down.
+        port = _free_port()
+        serve_extra = ["--http", f"127.0.0.1:{port}"]
+        url = f"http://127.0.0.1:{port}"
+        job_ids: list[str] = []
+    else:
+        with _env(REPRO_CACHE_DIR=str(root)):
+            job_ids = [
+                client.submit(_squash_spec(theta, scale))
+                for theta in thetas
+            ]
     server = subprocess.Popen(
-        _serve_argv([]), env=env,
+        _serve_argv(serve_extra), env=env,
         stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
     )
+    if transport == "http":
+        from repro.service import ServiceClient
+
+        if not _wait_http_up(url):
+            raise RuntimeError(f"serve --http never answered at {url}")
+        with _env(REPRO_CACHE_DIR=str(root)):
+            with ServiceClient(url) as http_client:
+                job_ids = [
+                    http_client.submit(_squash_spec(theta, scale)).id
+                    for theta in thetas
+                ]
+    report.kill_jobs = len(job_ids)
     try:
         # Kill the instant the journal shows a job mid-run; the
         # deadline below bounds a server that never gets there.
@@ -371,10 +519,14 @@ def _run_sigkill(report: ServeChaosReport, root: pathlib.Path,
     # Restart: journal recovery plus the still-spooled requests must
     # finish every job; none lost, none stuck.
     server = subprocess.Popen(
-        _serve_argv(["--idle-exit", "2.0"]), env=env,
+        _serve_argv([*serve_extra, "--idle-exit", "2.0"]), env=env,
         stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
     )
     try:
+        if transport == "http" and not _wait_http_up(url):
+            raise RuntimeError(
+                f"restarted serve --http never answered at {url}"
+            )
         matches = []
         for job_id, theta in zip(job_ids, thetas):
             try:
@@ -400,7 +552,7 @@ def _run_sigkill(report: ServeChaosReport, root: pathlib.Path,
 
 
 def _run_deadstore(report: ServeChaosReport, root: pathlib.Path,
-                   scale: float) -> None:
+                   scale: float, transport: str = "spool") -> None:
     from repro.service import JobEngine, JobJournal, ServiceConfig
     from repro.store import reset_stores
 
@@ -452,11 +604,175 @@ def _run_deadstore(report: ServeChaosReport, root: pathlib.Path,
     )
 
 
+def _run_quota(report: ServeChaosReport, root: pathlib.Path,
+               scale: float, transport: str = "spool") -> None:
+    from repro.service import JobEngine, JobJournal, ServiceConfig
+    from repro.store import get_store, reset_stores
+
+    quota = 8 * 1024
+    with _env(
+        REPRO_CACHE_DIR=str(root),
+        REPRO_TENANT_QUOTA_BYTES=str(quota),
+    ):
+        reset_stores()
+        config = ServiceConfig(
+            queue_depth=32, workers=1, tenant_cap=1,
+            drain_timeout=30.0, tenant_quota_bytes=quota,
+        )
+        engine = JobEngine(config, journal=JobJournal(root))
+        engine.start(recover=False)
+        try:
+            # The mouse goes first so its records are on disk when the
+            # hog starts flooding — surviving the flood is the claim.
+            mouse_ids = []
+            for index in range(2):
+                job = engine.submit(_squash_spec(
+                    3e-4 * (index + 1), scale, tenant="mouse",
+                ))
+                engine.result(job.id, timeout=300.0)
+                mouse_ids.append(job.id)
+            report.quota_mouse_jobs = len(mouse_ids)
+
+            sheds = []
+            for index in range(24):
+                report.quota_hog_submitted += 1
+                try:
+                    job = engine.submit(_squash_spec(
+                        1e-4 * (index + 1), scale, tenant="hog",
+                    ))
+                    engine.result(job.id, timeout=300.0)
+                except TenantQuotaExceeded as exc:
+                    sheds.append(exc)
+                    if len(sheds) >= 3:
+                        break
+            report.quota_hog_sheds = len(sheds)
+            report.quota_sheds_typed = bool(sheds) and all(
+                exc.tenant == "hog"
+                and exc.reason == "tenant-quota"
+                and exc.retry_after > 0
+                for exc in sheds
+            )
+
+            # The mouse's working set must have survived the hog: its
+            # journal records still load, its store refs still exist,
+            # and a fresh mouse job still completes.
+            journal = engine.journal
+            records_alive = all(
+                (journal.load(job_id) or {}).get("state") == "done"
+                for job_id in mouse_ids
+            )
+            refs_alive = bool(get_store(root).tenant_refs("mouse"))
+            job = engine.submit(_squash_spec(
+                9e-4, scale, tenant="mouse",
+            ))
+            engine.result(job.id, timeout=300.0)
+            report.quota_mouse_done = sum(
+                1 for job_id in mouse_ids
+                if (journal.load(job_id) or {}).get("state") == "done"
+            )
+            report.quota_mouse_unevicted = records_alive and refs_alive
+        finally:
+            engine.stop(drain_timeout=1.0)
+    reset_stores()
+
+
+def _run_fanout(report: ServeChaosReport, root: pathlib.Path,
+                scale: float, transport: str = "spool") -> None:
+    from repro.service import execute_job
+    from repro.service.jobs import JobSpec
+    from repro.store import get_store, reset_stores
+
+    names = ["adpcm", "gsm"]
+    thetas = [0.0, 1e-3]
+    payload = {
+        "names": names, "scale": scale, "thetas": thetas,
+        "sweep_kind": "size",
+    }
+    # The reference rows come from a serial sweep in a *separate*
+    # store root, so the fan-out run below computes its cells itself
+    # rather than inheriting them from the reference's cache.
+    serial_root = root / "serial"
+    with _env(REPRO_CACHE_DIR=str(serial_root)):
+        reset_stores()
+        serial = execute_job(JobSpec(kind="sweep", payload=dict(payload)))
+
+    env = dict(os.environ)
+    env.update(
+        REPRO_CACHE_DIR=str(root),
+        REPRO_SERVICE_LEASE_SECONDS="3.0",
+    )
+    peer = subprocess.Popen(
+        _serve_argv([]), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        with _env(
+            REPRO_CACHE_DIR=str(root),
+            REPRO_SERVICE_LEASE_SECONDS="3.0",
+        ):
+            reset_stores()
+            from repro.service import fanout
+
+            store = get_store(root)
+            plan = fanout.publish_plan(store, payload)
+            report.fanout_cells = len(plan["names"])
+            # Murder window: the instant the peer claims a cell it
+            # dies, leaving a live-looking claim the survivor may only
+            # take over after the lease expires.
+            claims = root / "sweeps" / "claims" / plan["plan"]
+            mine = fanout.engine_id()
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                foreign = [
+                    path for path in (
+                        list(claims.iterdir())
+                        if claims.is_dir() else []
+                    )
+                    if _claim_engine(path) not in ("", mine)
+                ]
+                if foreign:
+                    peer.send_signal(signal.SIGKILL)
+                    report.fanout_kill_delivered = True
+                    break
+                if peer.poll() is not None:
+                    break
+                time.sleep(0.01)
+            peer.wait(timeout=30.0)
+            # The survivor (this process) must reclaim the dead
+            # engine's cells and finish the sweep alone.
+            result = fanout.run_fanout_sweep(
+                dict(payload, fanout=True), plan=plan
+            )
+        reset_stores()
+    finally:
+        if peer.poll() is None:
+            peer.kill()
+            peer.wait(timeout=30.0)
+    report.fanout_lost = report.fanout_cells - len(result["rows"]) // max(
+        1, len(thetas)
+    )
+    report.fanout_rows_match = (
+        result["rows"] == serial["rows"]
+        and result["rows_digest"] == serial["rows_digest"]
+    )
+
+
+def _claim_engine(path: pathlib.Path) -> str:
+    import json
+
+    try:
+        return json.loads(path.read_text()).get("engine", "")
+    except (OSError, ValueError):
+        return ""
+
+
 _RUNNERS = {
     "overload": _run_overload,
     "fairness": _run_fairness,
+    "quota": _run_quota,
     "sigkill": _run_sigkill,
     "deadstore": _run_deadstore,
+    "fanout": _run_fanout,
 }
 
 
@@ -464,6 +780,7 @@ def run_serve_chaos(
     scale: float = 0.2,
     seed: int = 0,
     scenarios: tuple[str, ...] | list[str] | None = None,
+    transport: str = "spool",
 ) -> ServeChaosReport:
     """Run the serve-chaos scenarios; see the module docstring."""
     selected = tuple(scenarios) if scenarios else SCENARIOS
@@ -473,13 +790,20 @@ def run_serve_chaos(
             f"unknown serve-chaos scenario(s) {', '.join(unknown)} "
             f"(expected among {', '.join(SCENARIOS)})"
         )
-    report = ServeChaosReport(scale=scale, seed=seed, scenarios=selected)
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r} "
+            f"(expected {' or '.join(TRANSPORTS)})"
+        )
+    report = ServeChaosReport(
+        scale=scale, seed=seed, scenarios=selected, transport=transport
+    )
     for name in selected:
         root = pathlib.Path(
             tempfile.mkdtemp(prefix=f"repro-servechaos-{name}-")
         )
         try:
-            _RUNNERS[name](report, root, scale)
+            _RUNNERS[name](report, root, scale, transport)
         except Exception as exc:  # noqa: BLE001 - verdict, not crash
             report.errors[name] = f"{type(exc).__name__}: {exc}"
         finally:

@@ -9,24 +9,34 @@ deadlines, journals every state transition crash-safely through
 
 Entry points:
 
-* library — ``api.submit`` / ``api.job_status`` / ``api.job_result``
+* library — :class:`repro.service.client.ServiceClient` is the one
+  typed client over every transport (``"local"`` in-process engine,
+  ``"spool"`` filesystem, ``"http://host:port"``); the pre-client
+  ``api.submit`` / ``api.job_status`` / ``api.job_result`` shims still
   drive the process-wide engine (:func:`get_engine`);
 * processes — ``repro serve`` runs the engine against the filesystem
-  spool (:mod:`repro.service.spool`), ``repro submit`` spools requests
-  and waits on the journal, ``repro jobs`` lists journal records;
+  spool (:mod:`repro.service.spool`) and, with ``--http``, the JSON
+  front end (:mod:`repro.service.http`); ``repro submit`` spools
+  requests (or POSTs with ``--url``), ``repro jobs`` lists journal
+  records.  Serving processes sharing one store also co-compute
+  fan-out sweeps (:mod:`repro.service.fanout`);
 * chaos — :mod:`repro.faultinject.servechaos` (``repro servechaos``)
-  storms, starves, SIGKILLs, and degrades the whole stack.
+  storms, starves, SIGKILLs, and degrades the whole stack, over
+  either transport.
 """
 
+from repro.service.client import JobHandle, ServiceClient
 from repro.service.engine import (
     JobEngine,
     ServiceConfig,
     get_engine,
     reset_engine,
 )
+from repro.service.http import HttpServiceServer, serve_http
 from repro.service.jobs import (
     JOB_KINDS,
     PRIORITIES,
+    SCHEMA_VERSION,
     TERMINAL_STATES,
     Job,
     JobSpec,
@@ -39,11 +49,15 @@ from repro.service.spool import SpoolClient, serve_forever, spool_dir
 __all__ = [
     "JOB_KINDS",
     "PRIORITIES",
+    "SCHEMA_VERSION",
     "TERMINAL_STATES",
+    "HttpServiceServer",
     "Job",
     "JobEngine",
+    "JobHandle",
     "JobJournal",
     "JobSpec",
+    "ServiceClient",
     "ServiceConfig",
     "SpoolClient",
     "execute_job",
@@ -51,5 +65,6 @@ __all__ = [
     "new_job_id",
     "reset_engine",
     "serve_forever",
+    "serve_http",
     "spool_dir",
 ]

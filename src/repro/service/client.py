@@ -1,0 +1,417 @@
+"""The typed service client: one API over local, spool, and HTTP transports.
+
+:class:`ServiceClient` is the redesigned submission surface of
+:mod:`repro.api` — it collapses the flat ``submit`` / ``job_status`` /
+``job_result`` trio into one object with a handle-based API::
+
+    client = api.ServiceClient()                  # in-process engine
+    client = api.ServiceClient("spool", root=p)   # filesystem spool
+    client = api.ServiceClient("http://host:8737")  # network front end
+
+    handle = client.submit(kind="squash", payload={"name": "gsm"})
+    handle.status()          # JSON snapshot
+    handle.result(timeout=60.0)  # block; typed raise on failure
+    handle.cancel()          # withdraw a still-queued job
+
+Every transport surfaces the *same* typed errors
+(:class:`~repro.errors.ServiceOverloaded` and friends), wherever in
+the round trip they occur: the local and HTTP transports shed at
+submit time, the spool sheds at wait time (the serving process answers
+through the journal).  With ``retries > 0`` the client absorbs plain
+overload sheds itself — it sleeps for the service's ``retry_after``
+hint (never less than *retry_floor*) and resubmits, so a storm
+degrades into bounded latency instead of an exception.  Quota sheds
+(:class:`~repro.errors.TenantQuotaExceeded`) are never retried: a
+tenant over its byte budget will not be helped by politeness.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from repro.errors import (
+    JobExpired,
+    JobFailed,
+    ServiceOverloaded,
+    SpecError,
+    TenantQuotaExceeded,
+    UnknownJob,
+)
+from repro.obs.metrics import get_registry
+from repro.service.jobs import JobSpec, new_job_id
+
+__all__ = ["JobHandle", "ServiceClient"]
+
+_METRICS = get_registry()
+
+#: Transports accepted by :class:`ServiceClient` (plus ``http(s)://``
+#: URLs, which select the HTTP transport).
+TRANSPORTS = ("local", "spool")
+
+
+def _terminal_error(job_id: str, state: str, error) -> Exception:
+    """The typed exception a terminal journal record maps to (the
+    client-side twin of ``JobEngine._terminal_error``)."""
+    error_type, message = (tuple(error or ()) + ("", ""))[:2]
+    if state == "expired" or error_type == "JobExpired":
+        return JobExpired(message, job_id=job_id)
+    if state == "cancelled":
+        return JobFailed(
+            message or "job cancelled",
+            job_id=job_id, error_type=error_type or "Cancelled",
+        )
+    return JobFailed(message, job_id=job_id, error_type=error_type)
+
+
+# -- transports ---------------------------------------------------------------
+
+
+class _LocalTransport:
+    """Directly against an in-process engine (the default)."""
+
+    def __init__(self, engine=None):
+        self._engine = engine
+
+    @property
+    def engine(self):
+        if self._engine is None:
+            from repro.service.engine import get_engine
+
+            self._engine = get_engine()
+        return self._engine
+
+    def submit(self, spec: JobSpec, job_id: str | None = None) -> str:
+        return self.engine.submit(spec, job_id=job_id).id
+
+    def status(self, job_id: str) -> dict:
+        return self.engine.status(job_id)
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict:
+        return self.engine.result(job_id, timeout=timeout)
+
+    def cancel(self, job_id: str, spec: JobSpec | None = None) -> bool:
+        return self.engine.cancel(job_id)
+
+    def close(self) -> None:
+        pass
+
+
+class _SpoolTransport:
+    """Through the filesystem spool of a separate serving process."""
+
+    def __init__(self, root: pathlib.Path | str | None = None):
+        from repro.service.spool import SpoolClient
+
+        self._spool = SpoolClient(root)
+
+    def submit(self, spec: JobSpec, job_id: str | None = None) -> str:
+        return self._spool.submit(spec, job_id=job_id)
+
+    def status(self, job_id: str) -> dict:
+        record = self._spool.journal.load(job_id)
+        if record is None:
+            if (self._spool.root / f"{job_id}.json").exists():
+                # Spooled but not yet picked up by a server.
+                return {"id": job_id, "state": "spooled"}
+            raise UnknownJob(job_id=job_id)
+        return {
+            "id": job_id,
+            "state": record.get("state", "unknown"),
+            "tenant": (record.get("spec") or {}).get("tenant", "default"),
+            "kind": (record.get("spec") or {}).get("kind", ""),
+            "result": record.get("result"),
+            "error": record.get("error"),
+        }
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict:
+        record = self._spool.wait(
+            job_id, timeout=timeout if timeout is not None else 60.0
+        )
+        state = record.get("state", "")
+        if state == "done":
+            return record.get("result") or {}
+        raise _terminal_error(job_id, state, record.get("error"))
+
+    def cancel(self, job_id: str, spec: JobSpec | None = None) -> bool:
+        return self._spool.cancel(job_id, spec=spec)
+
+    def close(self) -> None:
+        pass
+
+
+#: Error body type name -> reconstructor; what makes the HTTP wire
+#: transparent to typed ``except`` clauses.
+_WIRE_ERRORS = {
+    "TenantQuotaExceeded": lambda p: TenantQuotaExceeded(
+        p.get("message", ""),
+        tenant=p.get("tenant", ""),
+        usage_bytes=p.get("usage_bytes", 0),
+        quota_bytes=p.get("quota_bytes", 0),
+        retry_after=p.get("retry_after", 0.0),
+    ),
+    "ServiceOverloaded": lambda p: ServiceOverloaded(
+        p.get("message", ""),
+        reason=p.get("reason", ""),
+        retry_after=p.get("retry_after", 0.0),
+        tenant=p.get("tenant", ""),
+    ),
+    "JobExpired": lambda p: JobExpired(
+        p.get("message", ""), job_id=p.get("job_id", "")
+    ),
+    "SpecError": lambda p: SpecError(
+        p.get("message", ""), field=p.get("field", "")
+    ),
+    "UnknownJob": lambda p: UnknownJob(
+        p.get("message", ""), job_id=p.get("job_id", "")
+    ),
+    "JobFailed": lambda p: JobFailed(
+        p.get("message", ""),
+        job_id=p.get("job_id", ""),
+        error_type=p.get("error_type", ""),
+    ),
+    "Timeout": lambda p: TimeoutError(p.get("message", "")),
+}
+
+
+class _HttpTransport:
+    """Against the :mod:`repro.service.http` front end."""
+
+    def __init__(self, base_url: str):
+        self.base_url = base_url.rstrip("/")
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None,
+                 timeout: float | None = None):
+        data = (
+            json.dumps(body, sort_keys=True).encode("utf-8")
+            if body is not None else None
+        )
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout
+            ) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except ValueError:
+                payload = {}
+            rebuild = _WIRE_ERRORS.get(payload.get("error", ""))
+            if rebuild is not None:
+                raise rebuild(payload) from None
+            raise JobFailed(
+                payload.get("message", str(exc)),
+                error_type=payload.get("error", f"http-{exc.code}"),
+            ) from None
+
+    def submit(self, spec: JobSpec, job_id: str | None = None) -> str:
+        body = {"schema_version": spec.schema_version,
+                "spec": spec.to_record()}
+        if job_id is not None:
+            body["id"] = job_id
+        return self._request("POST", "/v1/jobs", body=body)["id"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict:
+        query = ""
+        socket_timeout = None
+        if timeout is not None:
+            query = "?" + urllib.parse.urlencode({"timeout": timeout})
+            # The socket waits a little past the server-side timeout so
+            # the typed 504 beats a raw socket error.
+            socket_timeout = timeout + 10.0
+        payload = self._request(
+            "GET", f"/v1/jobs/{job_id}/result{query}",
+            timeout=socket_timeout,
+        )
+        return payload.get("result") or {}
+
+    def cancel(self, job_id: str, spec: JobSpec | None = None) -> bool:
+        return bool(
+            self._request("DELETE", f"/v1/jobs/{job_id}").get("cancelled")
+        )
+
+    def close(self) -> None:
+        pass
+
+
+# -- the client ---------------------------------------------------------------
+
+
+class JobHandle:
+    """One submitted job, bound to the client that submitted it.
+
+    The handle keeps the spec, so the client-side retry loop can
+    resubmit after a wait-time shed (the spool transport answers sheds
+    through the journal, after submission) — ``id`` then moves to the
+    fresh submission.
+    """
+
+    def __init__(self, client: "ServiceClient", spec: JobSpec,
+                 job_id: str):
+        self._client = client
+        self.spec = spec
+        self.id = job_id
+
+    def status(self) -> dict:
+        return self._client.status(self.id)
+
+    def result(self, timeout: float | None = None) -> dict:
+        return self._client._result_with_retry(self, timeout)
+
+    def cancel(self) -> bool:
+        return self._client._transport.cancel(self.id, spec=self.spec)
+
+    def __repr__(self) -> str:
+        return (
+            f"JobHandle(id={self.id!r}, kind={self.spec.kind!r}, "
+            f"tenant={self.spec.tenant!r})"
+        )
+
+
+class ServiceClient:
+    """The typed client over one transport (see the module docstring).
+
+    *target* is ``"local"`` (the in-process engine), ``"spool"`` (the
+    filesystem spool under *root*), or an ``http(s)://`` base URL.
+    *retries* bounds how many plain overload sheds the client absorbs
+    per call before the typed error propagates; each wait honours the
+    service's ``retry_after`` hint, floored at *retry_floor* seconds.
+    """
+
+    def __init__(
+        self,
+        target: str = "local",
+        *,
+        root: pathlib.Path | str | None = None,
+        retries: int = 0,
+        retry_floor: float = 0.05,
+        engine=None,
+    ):
+        self.target = target
+        self.retries = max(0, retries)
+        self.retry_floor = retry_floor
+        if target.startswith(("http://", "https://")):
+            self._transport = _HttpTransport(target)
+        elif target == "spool":
+            self._transport = _SpoolTransport(root)
+        elif target == "local":
+            self._transport = _LocalTransport(engine)
+        else:
+            raise SpecError(
+                f"unknown transport {target!r} (expected "
+                f"{', '.join(TRANSPORTS)}, or an http(s):// URL)",
+                field="target",
+            )
+
+    @property
+    def transport(self) -> str:
+        """The transport kind in use: ``local``, ``spool``, or ``http``."""
+        if self.target.startswith(("http://", "https://")):
+            return "http"
+        return self.target
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec | None = None, **fields) -> JobHandle:
+        """Submit a job; returns a :class:`JobHandle`.
+
+        Accepts a :class:`~repro.service.jobs.JobSpec` or its keyword
+        fields.  Validation is client-side first (fail fast with a
+        typed :class:`~repro.errors.SpecError`), then server-side
+        again — the server trusts nothing the wire carried.
+        """
+        if spec is None:
+            spec = JobSpec(**fields)
+        elif fields:
+            raise SpecError(
+                "pass a JobSpec or keyword fields, not both",
+                field="spec",
+            )
+        spec.validate()
+        attempt = 0
+        while True:
+            try:
+                job_id = self._transport.submit(spec)
+                return JobHandle(self, spec, job_id)
+            except TenantQuotaExceeded:
+                raise
+            except ServiceOverloaded as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                self._backoff(exc)
+
+    def status(self, job_id: str) -> dict:
+        return self._transport.status(job_id)
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict:
+        """Block for a result by raw id (no shed-retry: without the
+        spec the client cannot resubmit; use the handle for that)."""
+        return self._transport.result(job_id, timeout=timeout)
+
+    def cancel(self, job_id: str) -> bool:
+        return self._transport.cancel(job_id)
+
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- retry loop ----------------------------------------------------------
+
+    def _backoff(self, exc: ServiceOverloaded) -> None:
+        delay = max(self.retry_floor, exc.retry_after or 0.0)
+        _METRICS.inc("service.client.retries")
+        _METRICS.observe("service.client.backoff_seconds", delay)
+        time.sleep(delay)
+
+    def _result_with_retry(
+        self, handle: JobHandle, timeout: float | None
+    ) -> dict:
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        attempt = 0
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                return self._transport.result(
+                    handle.id, timeout=remaining
+                )
+            except TenantQuotaExceeded:
+                raise
+            except ServiceOverloaded as exc:
+                # A wait-time shed (spool transport): back off for the
+                # journaled hint and resubmit under a fresh id — the
+                # shed id is terminal in the journal.
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                if deadline is not None and (
+                    time.monotonic() + max(
+                        self.retry_floor, exc.retry_after or 0.0
+                    ) >= deadline
+                ):
+                    raise
+                self._backoff(exc)
+                handle.id = self._transport.submit(
+                    handle.spec, job_id=new_job_id()
+                )

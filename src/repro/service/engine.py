@@ -50,6 +50,7 @@ from repro.errors import (
     JobExpired,
     JobFailed,
     ServiceOverloaded,
+    TenantQuotaExceeded,
     UnknownJob,
 )
 from repro.obs.metrics import get_registry
@@ -70,6 +71,10 @@ _METRICS = get_registry()
 #: Retry-after floor so shed clients never busy-spin.
 _MIN_RETRY_AFTER = 0.05
 
+#: Upper-bound guess at one sealed journal record, so tenant-quota
+#: admission sheds *before* the write that would overrun the budget.
+_TENANT_RECORD_ESTIMATE = 2048
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -81,6 +86,7 @@ class ServiceConfig:
     default_deadline: float | None = None
     drain_timeout: float = 10.0
     journal: bool = True
+    tenant_quota_bytes: int | None = None
 
     @classmethod
     def from_settings(
@@ -95,6 +101,7 @@ class ServiceConfig:
             default_deadline=resolved.service_deadline,
             drain_timeout=resolved.service_drain_timeout,
             journal=resolved.service_journal,
+            tenant_quota_bytes=resolved.tenant_quota_bytes,
         )
 
 
@@ -318,6 +325,37 @@ class JobEngine:
         waiter = self._call(self._waiter_for(job))
         return waiter.result(timeout=timeout)
 
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job; True when it was cancelled.
+
+        A running job is not interrupted (its executor thread owns the
+        work) and a terminal job cannot change state — both return
+        False.  Raises :class:`~repro.errors.UnknownJob` for ids the
+        engine never saw.
+        """
+        return self._call(self._cancel(job_id))
+
+    async def _cancel(self, job_id: str) -> bool:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJob(job_id=job_id)
+        if job.terminal or job.state != "queued":
+            return False
+        queue = self._queues[job.spec.priority].get(job.spec.tenant)
+        if queue is None or job not in queue:
+            return False
+        queue.remove(job)
+        self._queued -= 1
+        _METRICS.set_gauge("service.queue_depth", self._queued)
+        self._finish(
+            job, "cancelled",
+            error=JobFailed(
+                "cancelled by the client before it started",
+                job_id=job.id, error_type="Cancelled",
+            ),
+        )
+        return True
+
     def stats(self) -> dict:
         return {
             "state": self._state,
@@ -366,6 +404,11 @@ class JobEngine:
             return JobExpired(message, job_id=job_id)
         if error_type == "ServiceOverloaded":
             return ServiceOverloaded(message, reason="requeued")
+        if state == "cancelled":
+            return JobFailed(
+                message or "job cancelled",
+                job_id=job_id, error_type=error_type or "Cancelled",
+            )
         return JobFailed(message, job_id=job_id, error_type=error_type)
 
     # -- admission -----------------------------------------------------------
@@ -387,6 +430,24 @@ class JobEngine:
                 retry_after=self.config.drain_timeout,
                 tenant=tenant,
             )
+        quota = self.config.tenant_quota_bytes
+        if quota is not None and self.journal is not None:
+            usage = self.journal.tenant_usage(tenant)
+            if usage + _TENANT_RECORD_ESTIMATE > quota:
+                _METRICS.inc("service.shed")
+                _METRICS.inc(f"service.tenant.{tenant}.quota_shed")
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "job.quota_shed", "service", tenant=tenant,
+                        usage=usage, quota=quota,
+                    )
+                raise TenantQuotaExceeded(
+                    f"tenant {tenant} over its store budget",
+                    tenant=tenant,
+                    usage_bytes=usage,
+                    quota_bytes=quota,
+                    retry_after=self._retry_after(),
+                )
         if self._queued >= self.config.queue_depth:
             _METRICS.inc("service.shed")
             _METRICS.inc(f"service.tenant.{tenant}.shed")

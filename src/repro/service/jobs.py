@@ -7,7 +7,15 @@ engine keeps while it moves through its states::
 
     queued -> running -> done | failed | expired
          \\-> expired (deadline lapsed while waiting)
+         \\-> cancelled (client cancelled it before it started)
          \\-> requeued (service drained; journal keeps it for restart)
+
+Specs carry an explicit ``schema_version`` so the wire format (spool
+files, HTTP bodies, journal records) can evolve: servers accept every
+version in :data:`ACCEPTED_SCHEMA_VERSIONS` and reject anything else
+with a typed :class:`~repro.errors.SpecError` naming the field.
+Records without the field — every v1 spool file written before the
+versioned schema — read back as version 1 and stay accepted.
 
 Payloads are plain JSON dicts rather than the api dataclasses so a
 spec round-trips byte-identically through the crash-safe journal and
@@ -27,8 +35,10 @@ from dataclasses import dataclass, field
 from repro.errors import SpecError
 
 __all__ = [
+    "ACCEPTED_SCHEMA_VERSIONS",
     "JOB_KINDS",
     "PRIORITIES",
+    "SCHEMA_VERSION",
     "TERMINAL_STATES",
     "Job",
     "JobSpec",
@@ -45,7 +55,14 @@ JOB_KINDS = ("squash", "sweep", "verify")
 PRIORITIES = ("interactive", "batch")
 
 #: States a job never leaves.
-TERMINAL_STATES = ("done", "failed", "expired")
+TERMINAL_STATES = ("done", "failed", "expired", "cancelled")
+
+#: The wire schema this code writes.
+SCHEMA_VERSION = 2
+
+#: Every wire schema this code still reads (v1 is the unversioned
+#: format of the first spool release).
+ACCEPTED_SCHEMA_VERSIONS = (1, SCHEMA_VERSION)
 
 
 def new_job_id() -> str:
@@ -66,10 +83,19 @@ class JobSpec:
     #: Seconds from submission until the job expires (None: the
     #: ``REPRO_SERVICE_DEADLINE`` default, 0/None meaning no deadline).
     deadline: float | None = None
+    #: Wire schema version of this spec (v1 records have no field).
+    schema_version: int = SCHEMA_VERSION
 
     def validate(self) -> None:
         """Raise :class:`~repro.errors.SpecError` on anything the
         engine could not execute; cheap enough to run at admission."""
+        if self.schema_version not in ACCEPTED_SCHEMA_VERSIONS:
+            accepted = ", ".join(map(str, ACCEPTED_SCHEMA_VERSIONS))
+            raise SpecError(
+                f"unknown wire schema version {self.schema_version!r} "
+                f"(this server accepts {accepted})",
+                field="schema_version",
+            )
         if self.kind not in JOB_KINDS:
             raise SpecError(
                 f"unknown job kind {self.kind!r} "
@@ -105,6 +131,11 @@ class JobSpec:
                     f"unknown sweep kind {kind!r} (size|time)",
                     field="payload.sweep_kind",
                 )
+            if not isinstance(self.payload.get("fanout", False), bool):
+                raise SpecError(
+                    "fanout must be a boolean",
+                    field="payload.fanout",
+                )
         elif self.kind == "verify":
             if not self.payload.get("prefix"):
                 raise SpecError(
@@ -119,16 +150,20 @@ class JobSpec:
             "tenant": self.tenant,
             "priority": self.priority,
             "deadline": self.deadline,
+            "schema_version": self.schema_version,
         }
 
     @classmethod
     def from_record(cls, record: dict) -> "JobSpec":
+        version = record.get("schema_version")
         return cls(
             kind=record.get("kind", ""),
             payload=dict(record.get("payload") or {}),
             tenant=record.get("tenant", "default"),
             priority=record.get("priority", "batch"),
             deadline=record.get("deadline"),
+            # Unversioned records predate the versioned schema: v1.
+            schema_version=1 if version is None else version,
         )
 
 
@@ -162,6 +197,9 @@ class Job:
     error: tuple[str, str] | None = None
     #: True when this job was re-enqueued by journal recovery.
     recovered: bool = False
+    #: Retry hint journaled with shed records so spool clients read
+    #: the same back-off the engine computed (None otherwise).
+    retry_after: float | None = None
 
     @property
     def terminal(self) -> bool:
@@ -213,6 +251,10 @@ def _execute_squash(payload: dict) -> dict:
 def _execute_sweep(payload: dict) -> dict:
     import repro.api as api
 
+    if payload.get("fanout"):
+        from repro.service.fanout import run_fanout_sweep
+
+        return run_fanout_sweep(payload)
     thetas = payload.get("thetas")
     spec = api.SweepSpec(
         names=tuple(payload.get("names") or ()),

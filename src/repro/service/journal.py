@@ -22,7 +22,7 @@ from __future__ import annotations
 import pathlib
 import time
 
-from repro.errors import StoreDegraded
+from repro.errors import StoreDegraded, TenantQuotaExceeded
 from repro.obs.metrics import get_registry
 from repro.service.jobs import TERMINAL_STATES, Job, JobSpec
 
@@ -61,12 +61,30 @@ class JobJournal:
             "result": job.result,
             "error": list(job.error) if job.error else None,
         }
+        if job.retry_after is not None:
+            record["retry_after"] = job.retry_after
         try:
-            self._store.put("job", job.id, record)
+            self._store.put(
+                "job", job.id, record, tenant=job.spec.tenant
+            )
+        except TenantQuotaExceeded:
+            # The tenant is over budget and its own refs could not
+            # make room; the job keeps running from memory — only its
+            # persistence is lost, and admission sheds the tenant's
+            # *next* submissions.
+            _METRICS.inc(
+                f"service.tenant.{job.spec.tenant}.journal_quota_drops"
+            )
+            return False
         except StoreDegraded:
             _METRICS.inc("service.journal_degraded")
             return False
         return True
+
+    def tenant_usage(self, tenant: str) -> int:
+        """Live store bytes attributed to *tenant* (see
+        :meth:`repro.store.store.ArtifactStore.tenant_usage`)."""
+        return self._store.tenant_usage(tenant)
 
     # -- reads ---------------------------------------------------------------
 

@@ -25,7 +25,11 @@ import pathlib
 import secrets
 import time
 
-from repro.errors import ServiceOverloaded, SpecError
+from repro.errors import (
+    ServiceOverloaded,
+    SpecError,
+    TenantQuotaExceeded,
+)
 from repro.obs.metrics import get_registry
 from repro.service.jobs import JobSpec, new_job_id
 
@@ -76,6 +80,31 @@ class SpoolClient:
         _METRICS.inc("service.spool_submitted")
         return job_id
 
+    def cancel(self, job_id: str, spec: JobSpec | None = None) -> bool:
+        """Best-effort cross-process cancel; True when the request was
+        still spooled and is now withdrawn.
+
+        Once the server has picked the file up the job belongs to its
+        engine and the spool cannot reach it — the client keeps its
+        deadline as the backstop.  With *spec* (the client still holds
+        it) a ``cancelled`` journal record is written so concurrent
+        waiters resolve instead of timing out.
+        """
+        try:
+            os.unlink(self.root / f"{job_id}.json")
+        except OSError:
+            return False
+        if spec is not None:
+            from repro.service.jobs import Job
+
+            job = Job(id=job_id, spec=spec, state="cancelled")
+            job.error = (
+                "Cancelled", "request withdrawn from the spool"
+            )
+            self.journal.record(job)
+        _METRICS.inc("service.spool_cancelled")
+        return True
+
     def wait(self, job_id: str, timeout: float = 60.0) -> dict:
         """Poll the journal until *job_id* is terminal (or shed).
 
@@ -93,10 +122,21 @@ class SpoolClient:
                 state = record.get("state")
                 if state == "shed":
                     error = record.get("error") or ["", ""]
+                    error_type = error[0] if error else ""
+                    message = error[1] if len(error) > 1 else ""
+                    retry_after = record.get("retry_after", 0.0)
+                    if error_type == "TenantQuotaExceeded":
+                        raise TenantQuotaExceeded(
+                            message,
+                            tenant=(record.get("spec") or {}).get(
+                                "tenant", ""
+                            ),
+                            retry_after=retry_after,
+                        )
                     raise ServiceOverloaded(
-                        error[1] if len(error) > 1 else "",
+                        message,
                         reason="queue-full",
-                        retry_after=record.get("retry_after", 0.0),
+                        retry_after=retry_after,
                     )
                 if state in TERMINAL_STATES:
                     return record
@@ -166,6 +206,7 @@ def _journal_shed(engine, job_id, spec, exc: ServiceOverloaded) -> None:
 
     job = Job(id=job_id, spec=spec, state="shed")
     job.error = (type(exc).__name__, str(exc))
+    job.retry_after = exc.retry_after
     engine.journal.record(job)
 
 
@@ -186,22 +227,33 @@ def serve_forever(
     max_jobs: int | None = None,
     idle_exit: float | None = None,
     should_stop=None,
+    fanout: bool = True,
 ) -> int:
     """The ``repro serve`` loop: spool scan -> engine, until told to stop.
 
     Returns the number of jobs that reached a terminal state while
     serving.  Exits when *should_stop* (the signal flag) fires, after
     *max_jobs* terminal jobs, or after *idle_exit* seconds with an
-    empty spool, queue, and executor — whichever comes first.
+    empty spool, queue, and executor — whichever comes first.  Unless
+    *fanout* is off, each iteration also offers this process as a
+    fan-out peer: open sweep plans in the shared store get their
+    unclaimed cells computed here (:mod:`repro.service.fanout`).
     """
     spool = spool_dir(root)
     spool.mkdir(parents=True, exist_ok=True)
+    worker = None
+    if fanout:
+        from repro.service.fanout import FanoutWorker
+
+        worker = FanoutWorker(root)
     terminal_seen: set[str] = set()
     idle_since: float | None = None
     while True:
         if should_stop is not None and should_stop():
             break
         _drain_spool(engine, spool)
+        if worker is not None and worker.poll():
+            idle_since = None
         for job_id, job in list(engine._jobs.items()):
             if job.terminal and job_id not in terminal_seen:
                 terminal_seen.add(job_id)

@@ -17,10 +17,12 @@ class TestSurface:
         is fine, but every change must be deliberate (update this
         snapshot in the same commit)."""
         assert sorted(api.__all__) == [
+            "JobHandle",
             "JobSpec",
             "LoadedSquash",
             "RunOutcome",
             "RunSpec",
+            "ServiceClient",
             "SquashConfig",
             "SquashResult",
             "SweepSpec",
@@ -44,6 +46,7 @@ class TestSurface:
             "BufferStrategy",
             "JobEngine",
             "JobExpired",
+            "JobHandle",
             "JobSpec",
             "LoadedSquash",
             "MEDIABENCH",
@@ -54,6 +57,7 @@ class TestSurface:
             "RunOutcome",
             "RunResult",
             "RunSpec",
+            "ServiceClient",
             "ServiceOverloaded",
             "Settings",
             "SpecError",
@@ -63,6 +67,7 @@ class TestSurface:
             "StageReport",
             "StoreDegraded",
             "SweepSpec",
+            "TenantQuotaExceeded",
             "Tracer",
             "collect_profile",
             "current_settings",
@@ -117,6 +122,32 @@ class TestDeprecations:
             warnings.simplefilter("error", DeprecationWarning)
             from repro.core import squash as core_squash
         assert core_squash.__name__ == "squash_program"
+
+    def test_api_submit_shim_warns_once(self):
+        """The pre-client job functions warn toward ServiceClient —
+        exactly once per process, not per call."""
+        from repro.errors import SpecError
+
+        api._DEPRECATION_WARNED.discard("submit")
+        with pytest.warns(DeprecationWarning,
+                          match="ServiceClient.submit"):
+            with pytest.raises(SpecError):
+                # Both a spec and fields: rejected before any engine
+                # is spun up, so the shim test stays cheap.
+                api.submit(api.JobSpec(kind="squash", payload={}),
+                           kind="squash")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(SpecError):
+                api.submit(api.JobSpec(kind="squash", payload={}),
+                           kind="squash")
+
+    def test_client_surface_resolves_lazily(self):
+        from repro.service.client import JobHandle, ServiceClient
+
+        assert api.ServiceClient is ServiceClient
+        assert api.JobHandle is JobHandle
+        assert repro.ServiceClient is ServiceClient
 
 
 class TestErrorPaths:

@@ -1,0 +1,187 @@
+"""Multi-host fan-out: claims, leases, reclaim, and row identity."""
+
+import json
+import time
+
+import pytest
+
+from repro import settings
+from repro.errors import CellFailure
+from repro.obs.metrics import get_registry
+from repro.service import fanout
+from repro.service.fanout import (
+    FanoutWorker,
+    _done_key,
+    engine_id,
+    publish_plan,
+    try_claim,
+    work_plan,
+)
+from repro.store import get_store
+
+_METRICS = get_registry()
+
+SCALE = 0.2
+THETA = 1e-4
+
+
+def _plan(names=("adpcm",), thetas=(THETA,), kind="size"):
+    return {
+        "plan": "plan-test",
+        "names": list(names),
+        "thetas": list(thetas),
+        "scale": SCALE,
+        "kind": kind,
+        "state": "open",
+    }
+
+
+def _claim_path(root, plan_id, name, gen):
+    return root / "sweeps" / "claims" / plan_id / f"{name}.g{gen}.claim"
+
+
+class TestClaims:
+    def test_claim_is_exactly_once_per_generation(self, tmp_path):
+        store = get_store(tmp_path)
+        assert try_claim(store, "p", "adpcm", lease=60.0) == 1
+        # The lease is live: nobody else gets a look-in.
+        assert try_claim(store, "p", "adpcm", lease=60.0) is None
+        marker = _claim_path(tmp_path, "p", "adpcm", 1)
+        holder = json.loads(marker.read_text())
+        assert holder["engine"] == engine_id()
+        assert holder["expires"] > time.time()
+
+    def test_reclaim_only_after_lease_expiry(self, tmp_path):
+        store = get_store(tmp_path)
+        reclaims = _METRICS.counter("service.fanout.reclaims").value
+        assert try_claim(store, "p", "adpcm", lease=0.05) == 1
+        assert try_claim(store, "p", "adpcm", lease=0.05) is None
+        time.sleep(0.1)
+        # The holder is dead (lease lapsed): generation 2 opens.
+        assert try_claim(store, "p", "adpcm", lease=60.0) == 2
+        assert (
+            _METRICS.counter("service.fanout.reclaims").value
+            == reclaims + 1
+        )
+
+    def test_torn_claim_counts_as_dead(self, tmp_path):
+        store = get_store(tmp_path)
+        marker = _claim_path(tmp_path, "p", "adpcm", 1)
+        marker.parent.mkdir(parents=True)
+        marker.write_text("{ not json —")  # writer died mid-crash
+        assert try_claim(store, "p", "adpcm", lease=60.0) == 2
+
+    def test_claims_are_per_cell(self, tmp_path):
+        store = get_store(tmp_path)
+        assert try_claim(store, "p", "adpcm", lease=60.0) == 1
+        assert try_claim(store, "p", "gsm", lease=60.0) == 1
+
+
+class TestWorkPlan:
+    def test_done_record_short_circuits_the_claim(self, tmp_path):
+        store = get_store(tmp_path)
+        plan = _plan()
+        store.put("sweep", _done_key(plan["plan"], "adpcm"),
+                  {"plan": plan["plan"], "name": "adpcm", "cells": []})
+        with settings.use_settings(cache_dir=str(tmp_path)):
+            assert work_plan(store, plan, lease=60.0) == 0
+        # No claim marker was ever created.
+        assert not _claim_path(
+            tmp_path, plan["plan"], "adpcm", 1
+        ).exists()
+
+    def test_work_plan_computes_and_publishes_the_cell(self, tmp_path):
+        store = get_store(tmp_path)
+        plan = _plan()
+        with settings.use_settings(cache_dir=str(tmp_path)):
+            assert work_plan(store, plan, lease=60.0) == 1
+        record = store.get("sweep", _done_key(plan["plan"], "adpcm"))
+        assert record["engine"] == engine_id()
+        (cell,) = record["cells"]
+        assert cell["theta_paper"] == THETA
+        assert -1.0 < cell["reduction"] < 1.0
+        # Going again: the done record, not a recompute.
+        with settings.use_settings(cache_dir=str(tmp_path)):
+            assert work_plan(store, plan, lease=60.0) == 0
+
+    def test_live_foreign_claim_is_not_contested(self, tmp_path):
+        store = get_store(tmp_path)
+        plan = _plan()
+        marker = _claim_path(tmp_path, plan["plan"], "adpcm", 1)
+        marker.parent.mkdir(parents=True)
+        marker.write_text(json.dumps({
+            "engine": "other-host-1", "expires": time.time() + 60.0,
+        }))
+        with settings.use_settings(cache_dir=str(tmp_path)):
+            assert work_plan(store, plan, lease=60.0) == 0
+
+
+class TestWorker:
+    def test_poll_throttles_store_scans(self, tmp_path, monkeypatch):
+        scans = []
+        monkeypatch.setattr(
+            fanout, "_open_plans", lambda store: scans.append(1) or []
+        )
+        with settings.use_settings(cache_dir=str(tmp_path)):
+            worker = FanoutWorker(tmp_path)
+        assert worker.poll() == 0
+        assert worker.poll() == 0  # inside the scan interval
+        assert len(scans) == 1
+
+    def test_poll_works_an_open_plan(self, tmp_path):
+        store = get_store(tmp_path)
+        with settings.use_settings(cache_dir=str(tmp_path)):
+            plan = publish_plan(store, {
+                "names": ["adpcm"], "thetas": [THETA], "scale": SCALE,
+            })
+            worker = FanoutWorker(tmp_path)
+            assert worker.poll() == 1
+        record = store.get("sweep", _done_key(plan["plan"], "adpcm"))
+        assert record is not None
+
+
+class TestFanoutSweep:
+    def test_rows_identical_to_serial_sweep(self, tmp_path):
+        from repro.service.jobs import JobSpec, execute_job
+
+        payload = {
+            "names": ["adpcm"], "thetas": [THETA], "scale": SCALE,
+        }
+        with settings.use_settings(
+            cache_dir=str(tmp_path / "serial")
+        ):
+            serial = execute_job(
+                JobSpec(kind="sweep", payload=dict(payload))
+            )
+        with settings.use_settings(
+            cache_dir=str(tmp_path / "fanned")
+        ):
+            fanned = execute_job(JobSpec(
+                kind="sweep", payload=dict(payload, fanout=True)
+            ))
+        assert fanned["rows"] == serial["rows"]
+        assert fanned["rows_digest"] == serial["rows_digest"]
+        assert fanned["fanout"]["cells"] == 1
+        assert fanned["fanout"]["engines"] == [engine_id()]
+        # The plan record is closed so peers stop scanning it.
+        store = get_store(tmp_path / "fanned")
+        assert store.get("sweep", fanned["plan"])["state"] == "done"
+
+    def test_lost_cells_fail_typed_after_the_budget(
+        self, tmp_path, monkeypatch
+    ):
+        # No engine ever works the plan: collection must give up with
+        # a CellFailure naming the missing benchmarks, not hang.
+        monkeypatch.setattr(
+            fanout, "work_plan", lambda *a, **k: 0
+        )
+        payload = {
+            "names": ["adpcm", "gsm"], "thetas": [THETA],
+            "scale": SCALE, "collect_timeout": 0.2,
+        }
+        with settings.use_settings(cache_dir=str(tmp_path)):
+            with pytest.raises(CellFailure) as exc:
+                fanout.run_fanout_sweep(payload, poll_interval=0.01)
+        assert exc.value.reason == "collect-timeout"
+        assert "adpcm" in exc.value.cell
+        assert "gsm" in exc.value.cell

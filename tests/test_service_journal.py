@@ -109,7 +109,7 @@ class TestJournal:
     def test_dead_store_degrades_journal_not_jobs(self, tmp_path):
         engine = _engine(tmp_path)
 
-        def dead_put(ns, key, value):
+        def dead_put(ns, key, value, tenant=None):
             raise StoreDegraded("disk is gone", reason="enospc")
 
         engine.journal._store.put = dead_put
